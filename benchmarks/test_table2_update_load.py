@@ -1,0 +1,70 @@
+"""Table 2 — Internet-wide update load of poisoning at scale.
+
+Paper: daily path changes per router = I x T x P(d) x U, with the Hubble
+dataset supplying P(d).  For small deployments (I <= 0.1) the added load
+stays under 1% of the ~110K updates/day an edge router already sees; a
+large deployment (I = 0.5, T = 1) poisoning after only 5 minutes becomes
+significant, and waiting longer or monitoring fewer networks brings it
+back under 10%.
+"""
+
+from repro.analysis.reporting import Table
+from repro.workloads.hubble import (
+    EDGE_ROUTER_DAILY_UPDATES,
+    estimate_update_load,
+)
+
+#: Paper's Table 2 values for side-by-side display, keyed (I, T, d).
+PAPER_TABLE2 = {
+    (0.01, 0.5, 5): 393, (0.01, 1.0, 5): 783,
+    (0.01, 0.5, 15): 137, (0.01, 1.0, 15): 275,
+    (0.01, 0.5, 60): 58, (0.01, 1.0, 60): 115,
+    (0.1, 0.5, 5): 3931, (0.1, 1.0, 5): 7866,
+    (0.1, 0.5, 15): 1370, (0.1, 1.0, 15): 2748,
+    (0.1, 0.5, 60): 576, (0.1, 1.0, 60): 1154,
+    (0.5, 0.5, 5): 19625, (0.5, 1.0, 5): 39200,
+    (0.5, 0.5, 15): 6874, (0.5, 1.0, 15): 13714,
+    (0.5, 0.5, 60): 2889, (0.5, 1.0, 60): 5771,
+}
+
+
+def test_table2_update_load(benchmark, hubble_dataset, results_dir):
+    grid = benchmark(estimate_update_load, hubble_dataset)
+
+    table = Table(
+        "Table 2: additional daily path changes (paper vs measured)",
+        ["I", "T", "d (min)", "measured", "paper", "% of edge router load"],
+    )
+    by_key = {}
+    for cell in grid:
+        key = (
+            cell.deploying_fraction,
+            cell.monitored_fraction,
+            int(cell.wait_minutes),
+        )
+        by_key[key] = cell.daily_path_changes
+        table.add_row(
+            cell.deploying_fraction,
+            cell.monitored_fraction,
+            int(cell.wait_minutes),
+            cell.daily_path_changes,
+            PAPER_TABLE2[key],
+            100.0 * cell.daily_path_changes / EDGE_ROUTER_DAILY_UPDATES,
+        )
+    table.add_note(
+        "reference: edge router ~110K updates/day, tier-1 255K-315K"
+    )
+    table.emit(results_dir, "table2_update_load.txt")
+
+    # Shape assertions: within ~2x of the paper cell-by-cell, exact
+    # linear scaling in I and T, and the qualitative load conclusions.
+    for key, measured in by_key.items():
+        paper = PAPER_TABLE2[key]
+        assert 0.4 * paper <= measured <= 2.5 * paper, (key, measured)
+    assert by_key[(0.1, 0.5, 15)] / by_key[(0.01, 0.5, 15)] == 10.0
+    # Small deployment: a few percent of edge-router load at most.
+    assert by_key[(0.1, 1.0, 15)] < 0.05 * EDGE_ROUTER_DAILY_UPDATES
+    assert by_key[(0.01, 1.0, 15)] < 0.01 * EDGE_ROUTER_DAILY_UPDATES
+    # Large deployment at d=5 is significant; waiting to d=60 tames it.
+    assert by_key[(0.5, 1.0, 5)] > 0.20 * EDGE_ROUTER_DAILY_UPDATES
+    assert by_key[(0.5, 1.0, 60)] < 0.10 * EDGE_ROUTER_DAILY_UPDATES

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Selective poisoning: steer traffic off one AS link (§3.1.2, §5.2).
+
+Recreates the paper's Internet2 experiment.  The origin has two providers
+reaching a target transit AS over disjoint paths (UWash/PNW-Gigapop and
+UWisc/WiscNet in the paper).  Poisoning the target on announcements via
+ONE provider — while announcing clean via the other — makes the target
+drop only the poisoned path: it keeps a route, but shifts its egress off
+the "failing" link.  ASes not routing through the target are untouched.
+
+Run:  python examples/selective_poisoning.py
+"""
+
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.messages import traversed_ases
+from repro.workloads.scenarios import build_deployment
+
+
+def main():
+    scenario = build_deployment(scale="small", seed=3, num_providers=2)
+    engine = scenario.engine
+    graph = scenario.graph
+    origin = scenario.origin_asn
+    prefix = scenario.production_prefix
+    controller = scenario.lifeguard.origin
+    provider_a, provider_b = controller.providers
+
+    # Find a transit AS that reaches the prefix via one of our providers
+    # and could use the other: the selective-poisoning candidate.
+    candidates = []
+    for asn in graph.transit_ases():
+        if asn in (provider_a, provider_b, origin):
+            continue
+        best = engine.best_route(asn, prefix)
+        if best is None:
+            continue
+        used = traversed_ases(best.as_path, origin)
+        if provider_a in used or provider_b in used:
+            candidates.append((asn, used))
+    target_asn, used = max(candidates, key=lambda c: graph.degree(c[0]))
+    poisoned_provider = provider_a if provider_a in used else provider_b
+    clean_provider = (
+        provider_b if poisoned_provider == provider_a else provider_a
+    )
+
+    collector = RouteCollector(engine, set(graph.transit_ases()))
+    before = {
+        peer: collector.path_of(peer, prefix)
+        for peer in collector.peers
+    }
+    first_link_before = (target_asn, used[-1] if used else None)
+
+    print(f"origin AS{origin} providers: AS{provider_a}, AS{provider_b}")
+    print(f"target AS{target_asn} currently reaches {prefix} via "
+          f"{' -> '.join('AS%d' % a for a in used)}")
+    print(f"\nselectively poisoning AS{target_asn} on announcements via "
+          f"AS{poisoned_provider} (clean via AS{clean_provider})...\n")
+
+    event_time = engine.now
+    controller.poison_selectively(
+        target_asn, via_providers=[poisoned_provider]
+    )
+    engine.run()
+
+    after_route = engine.best_route(target_asn, prefix)
+    assert after_route is not None, "target was cut off - not selective!"
+    after_used = traversed_ases(after_route.as_path, origin)
+    print(f"target AS{target_asn} now routes via "
+          f"{' -> '.join('AS%d' % a for a in after_used)}"
+          f" (egress neighbor AS{after_route.neighbor})")
+    assert after_used and after_used[-1] == clean_provider
+
+    # How many *other* ASes changed their route?
+    changed = []
+    for peer in collector.peers:
+        if peer == target_asn:
+            continue
+        now_path = collector.path_of(peer, prefix)
+        was = before[peer]
+        if was is not None and now_path is not None:
+            if traversed_ases(was, origin) != traversed_ases(
+                now_path, origin
+            ):
+                changed.append(peer)
+    print(f"\nother transit ASes whose traversed path changed: "
+          f"{len(changed)} of {len(collector.peers) - 1}")
+    for peer in changed:
+        print(f"  AS{peer}: {traversed_ases(before[peer], origin)} -> "
+              f"{traversed_ases(collector.path_of(peer, prefix), origin)}")
+    print("\nselective poisoning shifted the target AS off the link "
+          "without cutting it off, and (mostly) without disturbing others.")
+
+
+if __name__ == "__main__":
+    main()

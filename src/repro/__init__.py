@@ -1,0 +1,37 @@
+"""LIFEGUARD reproduction: practical repair of persistent route failures.
+
+A from-scratch simulation and reimplementation of the system described in
+"LIFEGUARD: Practical Repair of Persistent Route Failures" (Katz-Bassett
+et al., SIGCOMM 2012): failure localization from a single vantage-point
+deployment using spoofed probes and a historical path atlas, plus BGP
+poisoning-based rerouting around the located failure.
+
+Quick tour of the public API
+----------------------------
+
+Substrates::
+
+    from repro.topology import ASGraph, generate_internet, RouterTopology
+    from repro.bgp import BGPEngine, OriginController, RouteCollector
+    from repro.dataplane import DataPlane, Prober, FailureSet
+
+The LIFEGUARD system::
+
+    from repro.control import Lifeguard, LifeguardConfig
+    from repro.isolation import FailureIsolator
+    from repro.measure import PathAtlas, PingMonitor
+
+Ready-made scenarios and evaluation studies::
+
+    from repro.workloads import build_deployment
+    from repro.experiments import run_poisoning_convergence_study
+
+See ``examples/quickstart.py`` for a complete detect-isolate-poison-
+unpoison repair cycle.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,79 @@
+"""Empirical cumulative distribution functions."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class CDF:
+    """An empirical CDF over a sample of numbers."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values: List[float] = sorted(float(v) for v in values)
+        if not self._values:
+            raise ReproError("CDF needs a non-empty sample")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        # Binary search for the rightmost value <= x.
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._values)
+
+    def percentile(self, fraction: float) -> float:
+        """Inverse CDF with linear interpolation, fraction in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(f"fraction {fraction} outside [0, 1]")
+        if len(self._values) == 1:
+            return self._values[0]
+        index = fraction * (len(self._values) - 1)
+        low = int(index)
+        high = min(low + 1, len(self._values) - 1)
+        weight = index - low
+        return self._values[low] * (1 - weight) + self._values[high] * weight
+
+    @property
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return sum(self._values) / len(self._values)
+
+    @property
+    def min(self) -> float:
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        return self._values[-1]
+
+    def points(
+        self, num_points: int = 50
+    ) -> List[Tuple[float, float]]:
+        """(x, P(X <= x)) pairs suitable for plotting/printing."""
+        if num_points < 2:
+            raise ReproError("need at least two points")
+        out = []
+        for i in range(num_points):
+            fraction = i / (num_points - 1)
+            x = self.percentile(fraction)
+            out.append((x, self.at(x)))
+        return out
+
+    def fraction_at_most(self, x: float) -> float:
+        """Alias of :meth:`at` reading like the paper's prose."""
+        return self.at(x)
+
+    def fraction_above(self, x: float) -> float:
+        return 1.0 - self.at(x)

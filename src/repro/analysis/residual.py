@@ -1,0 +1,60 @@
+"""Residual outage duration analysis (Fig. 5).
+
+For each elapsed time X, consider the outages that were still ongoing at X
+and compute statistics of how much *longer* they lasted.  The paper uses
+this to justify poisoning: once an outage has persisted a few minutes, it
+will most likely persist several more, so triggering route exploration is
+worth its ~2 minute convergence cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ResidualPoint:
+    """Residual-duration statistics at one elapsed time."""
+
+    elapsed_minutes: float
+    survivors: int
+    mean_minutes: Optional[float]
+    median_minutes: Optional[float]
+    p25_minutes: Optional[float]
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    index = fraction * (len(sorted_values) - 1)
+    low = int(index)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = index - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def residual_duration_curve(
+    durations_seconds: Sequence[float],
+    elapsed_minutes: Sequence[float] = tuple(range(0, 31)),
+) -> List[ResidualPoint]:
+    """Fig. 5's curve: residual duration after X minutes, in minutes."""
+    durations = sorted(d / 60.0 for d in durations_seconds)  # minutes
+    out: List[ResidualPoint] = []
+    for elapsed in elapsed_minutes:
+        residuals = sorted(
+            d - elapsed for d in durations if d > elapsed
+        )
+        if not residuals:
+            out.append(
+                ResidualPoint(elapsed, 0, None, None, None)
+            )
+            continue
+        out.append(
+            ResidualPoint(
+                elapsed_minutes=elapsed,
+                survivors=len(residuals),
+                mean_minutes=sum(residuals) / len(residuals),
+                median_minutes=_percentile(residuals, 0.5),
+                p25_minutes=_percentile(residuals, 0.25),
+            )
+        )
+    return out

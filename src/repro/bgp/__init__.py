@@ -1,0 +1,31 @@
+"""Event-driven BGP simulation: speakers, policy, engine, origin control.
+
+The engine models per-AS BGP speakers exchanging announcements and
+withdrawals over sessions with MRAI timers, Gao-Rexford import/export
+policy, and standard loop prevention — the mechanism LIFEGUARD's poisoning
+exploits.
+"""
+
+from repro.bgp.messages import Announcement, Withdrawal, make_path
+from repro.bgp.rib import Route, RouteTable
+from repro.bgp.policy import SpeakerConfig
+from repro.bgp.speaker import BGPSpeaker
+from repro.bgp.engine import BGPEngine, EngineConfig
+from repro.bgp.collectors import RouteCollector, CollectorUpdate
+from repro.bgp.origin import AnnouncementSpec, OriginController
+
+__all__ = [
+    "Announcement",
+    "Withdrawal",
+    "make_path",
+    "Route",
+    "RouteTable",
+    "SpeakerConfig",
+    "BGPSpeaker",
+    "BGPEngine",
+    "EngineConfig",
+    "RouteCollector",
+    "CollectorUpdate",
+    "AnnouncementSpec",
+    "OriginController",
+]

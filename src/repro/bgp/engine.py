@@ -1,0 +1,363 @@
+"""Discrete-event BGP propagation engine.
+
+Models message latency, per-update processing delay and per-session MRAI
+batching — the ingredients that produce the convergence-time and
+path-exploration behaviour Figure 6 of the paper measures.  The engine owns
+a single priority queue; speakers are pure state machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.bgp.messages import Announcement, ASPath, Withdrawal
+from repro.bgp.policy import SpeakerConfig
+from repro.bgp.rib import Route
+from repro.bgp.speaker import BGPSpeaker
+from repro.errors import SimulationError
+from repro.net.addr import Prefix
+from repro.topology.as_graph import ASGraph
+
+
+@dataclass
+class EngineConfig:
+    """Timing model knobs (seconds)."""
+
+    #: Inter-AS one-way message latency range.
+    link_delay_min: float = 0.01
+    link_delay_max: float = 0.12
+    #: Per-update processing delay range at the receiver.
+    proc_delay_min: float = 0.002
+    proc_delay_max: float = 0.05
+    #: MRAI: minimum spacing between successive announcements of the same
+    #: prefix on one session.  Real routers default to ~30 s with jitter.
+    mrai: float = 30.0
+    #: Jitter factor range applied per session (cisco-style 0.75-1.0).
+    mrai_jitter_min: float = 0.75
+    mrai_jitter_max: float = 1.0
+    #: Withdrawals are conventionally not rate-limited (WRATE off).
+    mrai_applies_to_withdrawals: bool = False
+    seed: int = 0
+
+
+@dataclass
+class RouteChange:
+    """One Loc-RIB change, recorded for collectors and loss replay."""
+
+    time: float
+    asn: int
+    prefix: Prefix
+    old: Optional[Route]
+    new: Optional[Route]
+
+
+class _Session:
+    """Directed adjacency state (MRAI + last advertisement sent)."""
+
+    __slots__ = ("mrai", "last_sent_time", "sent", "timer_pending")
+
+    def __init__(self, mrai: float) -> None:
+        self.mrai = mrai
+        #: prefix -> time of last announcement sent on this session.
+        self.last_sent_time: Dict[Prefix, float] = {}
+        #: prefix -> last Announcement (or None for withdrawal/state unsent).
+        self.sent: Dict[Prefix, Optional[Announcement]] = {}
+        #: prefixes with an MRAI expiry event already queued.
+        self.timer_pending: Set[Prefix] = set()
+
+
+class BGPEngine:
+    """Runs BGP over an :class:`ASGraph` until quiescence."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        config: Optional[EngineConfig] = None,
+        speaker_configs: Optional[Dict[int, SpeakerConfig]] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self._rng = random.Random(self.config.seed)
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, tuple]] = []
+        self._seq = itertools.count()
+        self.speakers: Dict[int, BGPSpeaker] = {}
+        self._sessions: Dict[Tuple[int, int], _Session] = {}
+        self.change_log: List[RouteChange] = []
+        #: total updates (announcements + withdrawals) sent per directed
+        #: session; Table 2's per-router load estimates read this.
+        self.updates_sent: Dict[Tuple[int, int], int] = {}
+        #: optional hook fired on every Loc-RIB change.
+        self.on_change: Optional[Callable[[RouteChange], None]] = None
+        speaker_configs = speaker_configs or {}
+        for asn in graph.ases():
+            neighbor_rels = {
+                n: graph.relationship(asn, n) for n in graph.neighbors(asn)
+            }
+            self.speakers[asn] = BGPSpeaker(
+                asn, neighbor_rels, speaker_configs.get(asn)
+            )
+            for neighbor in neighbor_rels:
+                jitter = self._rng.uniform(
+                    self.config.mrai_jitter_min, self.config.mrai_jitter_max
+                )
+                self._sessions[(asn, neighbor)] = _Session(
+                    self.config.mrai * jitter
+                )
+
+    # ------------------------------------------------------------------
+    # Event queue plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, event: tuple) -> None:
+        if time < self.now - 1e-9:
+            raise SimulationError(
+                f"event scheduled in the past ({time} < {self.now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+
+    def _link_delay(self) -> float:
+        return self._rng.uniform(
+            self.config.link_delay_min, self.config.link_delay_max
+        )
+
+    def _proc_delay(self) -> float:
+        return self._rng.uniform(
+            self.config.proc_delay_min, self.config.proc_delay_max
+        )
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+    def originate(
+        self,
+        asn: int,
+        prefix: Prefix,
+        path: Optional[ASPath] = None,
+        per_neighbor: Optional[Dict[int, Optional[ASPath]]] = None,
+        communities=(),
+        avoid=(),
+    ) -> None:
+        """(Re-)announce *prefix* from *asn* with the given path config.
+
+        Call between :meth:`run` invocations; the change is injected at the
+        current simulation time and flushed to all of the origin's sessions.
+        *avoid* attaches an AVOID_PROBLEM(X, P) hint (the idealized
+        primitive; see :mod:`repro.bgp.messages`).
+        """
+        speaker = self.speakers[asn]
+        old_best = speaker.best(prefix)
+        speaker.originate(
+            prefix, path=path, per_neighbor=per_neighbor,
+            communities=communities, avoid=avoid,
+        )
+        new_best = speaker.best(prefix)
+        if new_best != old_best:
+            self._log_change(asn, prefix, old_best, new_best)
+        self._flush_all_sessions(asn, prefix)
+
+    def withdraw_origin(self, asn: int, prefix: Prefix) -> None:
+        """Stop originating *prefix* at *asn*."""
+        speaker = self.speakers[asn]
+        speaker.stop_originating(prefix)
+        self._record_change(asn, prefix)
+        self._flush_all_sessions(asn, prefix)
+
+    def advance_to(self, time: float) -> None:
+        """Move the idle engine clock forward to *time*.
+
+        Lets an external controller (LIFEGUARD's loop) keep the BGP clock
+        in sync with measurement time between routing events.  Only legal
+        while the event queue is empty.
+        """
+        if self._queue:
+            raise SimulationError("cannot advance clock with pending events")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot move clock backwards ({time} < {self.now})"
+            )
+        self.now = time
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains (or *until* is reached).
+
+        Returns the simulation time afterwards.  BGP under Gao-Rexford
+        policies (even with poisoned paths) converges, so the queue always
+        drains; a safety valve raises if it does not.
+        """
+        processed = 0
+        limit = 5_000_000
+        while self._queue:
+            time, _, event = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            self._dispatch(event)
+            processed += 1
+            if processed > limit:
+                raise SimulationError(
+                    "BGP simulation did not quiesce (possible policy "
+                    "dispute wheel)"
+                )
+        return self.now
+
+    def _dispatch(self, event: tuple) -> None:
+        kind = event[0]
+        if kind == "deliver":
+            _, src, dst, update = event
+            self._deliver(src, dst, update)
+        elif kind == "mrai":
+            _, src, dst, prefix = event
+            session = self._sessions[(src, dst)]
+            session.timer_pending.discard(prefix)
+            self._flush_session(src, dst, prefix)
+        elif kind == "damping-reuse":
+            _, asn, prefix, neighbor = event
+            self._damping_reuse(asn, prefix, neighbor)
+        else:  # pragma: no cover - internal invariant
+            raise SimulationError(f"unknown event {kind!r}")
+
+    def _deliver(self, src: int, dst: int, update) -> None:
+        speaker = self.speakers[dst]
+        old_best = speaker.best(update.prefix)
+        prefix, changed = speaker.process(update, now=self.now)
+        self._schedule_damping_reuse(dst, speaker)
+        if not changed:
+            return
+        self._log_change(dst, prefix, old_best, speaker.best(prefix))
+        self._flush_all_sessions(dst, prefix)
+
+    def _schedule_damping_reuse(self, asn: int, speaker: BGPSpeaker) -> None:
+        for prefix, neighbor, when in speaker.drain_pending_reuse():
+            self._push(
+                max(when, self.now),
+                ("damping-reuse", asn, prefix, neighbor),
+            )
+
+    def _damping_reuse(self, asn: int, prefix: Prefix, neighbor: int) -> None:
+        speaker = self.speakers[asn]
+        old_best = speaker.best(prefix)
+        _, changed = speaker.release_damped(prefix, neighbor, self.now)
+        self._schedule_damping_reuse(asn, speaker)
+        if not changed:
+            return
+        self._log_change(asn, prefix, old_best, speaker.best(prefix))
+        self._flush_all_sessions(asn, prefix)
+
+    def _record_change(self, asn: int, prefix: Prefix) -> None:
+        speaker = self.speakers[asn]
+        self._log_change(asn, prefix, None, speaker.best(prefix))
+
+    def _log_change(
+        self,
+        asn: int,
+        prefix: Prefix,
+        old: Optional[Route],
+        new: Optional[Route],
+    ) -> None:
+        change = RouteChange(
+            time=self.now, asn=asn, prefix=prefix, old=old, new=new
+        )
+        self.change_log.append(change)
+        if self.on_change is not None:
+            self.on_change(change)
+
+    # ------------------------------------------------------------------
+    # Session flushing with MRAI
+    # ------------------------------------------------------------------
+    def _flush_all_sessions(self, asn: int, prefix: Prefix) -> None:
+        for neighbor in self.speakers[asn].neighbors:
+            self._flush_session(asn, neighbor, prefix)
+
+    def _flush_session(self, src: int, dst: int, prefix: Prefix) -> None:
+        session = self._sessions[(src, dst)]
+        desired = self.speakers[src].desired_export(prefix, dst)
+        sent = session.sent.get(prefix)
+        if desired == sent:
+            return
+        is_withdrawal = desired is None
+        rate_limited = (
+            not is_withdrawal or self.config.mrai_applies_to_withdrawals
+        )
+        if rate_limited:
+            last = session.last_sent_time.get(prefix)
+            if last is not None and self.now < last + session.mrai:
+                if prefix not in session.timer_pending:
+                    session.timer_pending.add(prefix)
+                    self._push(
+                        last + session.mrai, ("mrai", src, dst, prefix)
+                    )
+                return
+        self._transmit(src, dst, prefix, desired, session)
+
+    def _transmit(
+        self,
+        src: int,
+        dst: int,
+        prefix: Prefix,
+        desired: Optional[Announcement],
+        session: _Session,
+    ) -> None:
+        if desired is None:
+            if session.sent.get(prefix) is None:
+                return
+            update: object = Withdrawal(prefix=prefix, sender=src)
+        else:
+            update = desired
+        session.sent[prefix] = desired
+        session.last_sent_time[prefix] = self.now
+        self.updates_sent[(src, dst)] = (
+            self.updates_sent.get((src, dst), 0) + 1
+        )
+        arrival = self.now + self._proc_delay() + self._link_delay()
+        self._push(arrival, ("deliver", src, dst, update))
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def best_route(self, asn: int, prefix: Prefix) -> Optional[Route]:
+        """Loc-RIB best at *asn* for exactly *prefix*."""
+        return self.speakers[asn].best(prefix)
+
+    def as_path(self, asn: int, prefix: Prefix) -> Optional[ASPath]:
+        """Selected AS path from *asn* for *prefix* (None if unreachable)."""
+        best = self.speakers[asn].best(prefix)
+        return best.as_path if best else None
+
+    def ases_using(self, prefix: Prefix, via: int) -> List[int]:
+        """ASes whose selected route for *prefix* traverses AS *via*."""
+        return [
+            asn
+            for asn, speaker in self.speakers.items()
+            if asn != via and speaker.uses_as(prefix, via)
+        ]
+
+    def forwarding_next_hops(self, prefix: Prefix) -> Dict[int, int]:
+        """AS-level next hop per AS for *prefix* (origin maps to itself)."""
+        out: Dict[int, int] = {}
+        for asn, speaker in self.speakers.items():
+            best = speaker.best(prefix)
+            if best is not None:
+                out[asn] = best.neighbor
+        return out
+
+    def avoid_notifications(self) -> Dict[int, int]:
+        """Per-AS count of received AVOID_PROBLEM hints naming that AS."""
+        return {
+            asn: speaker.avoid_notifications
+            for asn, speaker in self.speakers.items()
+            if speaker.avoid_notifications
+        }
+
+    def total_updates_sent(self) -> int:
+        """Total updates transmitted on all sessions so far."""
+        return sum(self.updates_sent.values())
+
+    def changes_since(self, t0: float) -> List[RouteChange]:
+        """Route changes recorded strictly after *t0*."""
+        return [c for c in self.change_log if c.time > t0]

@@ -1,0 +1,205 @@
+"""Origin-side announcement control: the BGP-Mux role.
+
+The :class:`OriginController` wraps one origin AS in a :class:`BGPEngine`
+and exposes the operations LIFEGUARD performs on its announcements:
+
+* a prepended **baseline** (``O-O-O``) that keeps path length constant so a
+  later poison converges with minimal path exploration (§3.1.1);
+* **poisoning** an AS (``O-A-O``) to trigger loop-prevention-based
+  avoidance (§3.1);
+* **selective poisoning** — poisoned paths via some providers, clean via
+  others — to steer traffic off one AS link (§3.1.2);
+* a covering **sentinel prefix** that keeps a baseline route alive for
+  captive ASes and lets LIFEGUARD test for repair (§4.2, §7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.engine import BGPEngine
+from repro.bgp.messages import ASPath, make_path
+from repro.errors import ControlError
+from repro.net.addr import Prefix
+
+
+@dataclass
+class AnnouncementSpec:
+    """Desired announcement state for one prefix at the origin."""
+
+    prefix: Prefix
+    prepend: int = 3
+    #: ASes inserted into the path (globally, unless selective overrides).
+    poisoned: Tuple[int, ...] = ()
+    #: provider ASN -> poison list for that provider only (selective
+    #: poisoning); providers absent here use ``poisoned``.
+    selective: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: providers the prefix is NOT advertised to (selective advertising).
+    suppressed_providers: Tuple[int, ...] = ()
+
+    def path_for(self, origin: int, provider: int) -> Optional[ASPath]:
+        if provider in self.suppressed_providers:
+            return None
+        poison = self.selective.get(provider, self.poisoned)
+        if not poison:
+            return make_path(origin, prepend=self.prepend)
+        # Keep the poisoned path the same length as the prepended
+        # baseline (O-O-O -> O-A-O): equal length + same next hop means
+        # unaffected ASes adopt the update without path exploration
+        # (§3.1.1).  If the poison list outgrows the prepend budget the
+        # path necessarily lengthens.
+        head = max(1, self.prepend - len(poison))
+        return make_path(origin, prepend=head, poison=poison)
+
+
+class OriginController:
+    """Announcement control plane for one origin AS."""
+
+    def __init__(
+        self,
+        engine: BGPEngine,
+        origin_asn: int,
+        production_prefix: Prefix,
+        sentinel_prefix: Optional[Prefix] = None,
+        prepend: int = 3,
+    ) -> None:
+        if origin_asn not in engine.speakers:
+            raise ControlError(f"AS{origin_asn} not in the topology")
+        if sentinel_prefix is not None and not (
+            production_prefix.is_more_specific_of(sentinel_prefix)
+            or sentinel_prefix == production_prefix
+        ):
+            # A disjoint sentinel (unused prefix elsewhere) is also allowed
+            # per §7.2; only equality is suspicious.
+            if sentinel_prefix.contains(production_prefix):
+                raise ControlError("sentinel equals production prefix")
+        self.engine = engine
+        self.origin_asn = origin_asn
+        self.production_prefix = production_prefix
+        self.sentinel_prefix = sentinel_prefix
+        self.providers: List[int] = sorted(
+            engine.speakers[origin_asn].neighbors
+        )
+        self._spec = AnnouncementSpec(
+            prefix=production_prefix, prepend=prepend
+        )
+        self._avoid_hint: frozenset = frozenset()
+        #: history of (time, description) announcement changes.
+        self.log: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    # Announcement lifecycle
+    # ------------------------------------------------------------------
+    def announce_baseline(self) -> None:
+        """Announce production (and sentinel) with the prepended baseline."""
+        self._spec.poisoned = ()
+        self._spec.selective = {}
+        self._apply("baseline")
+        if self.sentinel_prefix is not None:
+            self.engine.originate(
+                self.origin_asn,
+                self.sentinel_prefix,
+                path=make_path(self.origin_asn, prepend=self._spec.prepend),
+            )
+
+    def poison(self, asns: Iterable[int]) -> None:
+        """Globally poison *asns* on the production prefix.
+
+        The sentinel keeps its unpoisoned baseline so captive ASes retain a
+        covering route and LIFEGUARD can probe for repair.
+        """
+        poison_list = tuple(asns)
+        if self.origin_asn in poison_list:
+            raise ControlError("cannot poison the origin itself")
+        self._spec.poisoned = poison_list
+        self._spec.selective = {}
+        self._avoid_hint = frozenset()
+        self._apply(f"poison {poison_list}")
+
+    def poison_selectively(
+        self,
+        target: int,
+        via_providers: Sequence[int],
+    ) -> None:
+        """Poison *target* only on announcements through *via_providers*.
+
+        The other providers carry the clean baseline, so the target AS still
+        hears (and keeps) a route — via the neighbors we did not poison —
+        implementing AVOID_PROBLEM(A-B, P) when provider paths are disjoint.
+        """
+        for provider in via_providers:
+            if provider not in self.providers:
+                raise ControlError(
+                    f"AS{provider} is not a provider of AS{self.origin_asn}"
+                )
+        self._spec.poisoned = ()
+        self._spec.selective = {
+            provider: (target,) for provider in via_providers
+        }
+        self._apply(f"selective poison {target} via {list(via_providers)}")
+
+    def advertise_only_via(self, providers: Sequence[int]) -> None:
+        """Classic selective advertising (no poisoning)."""
+        keep = set(providers)
+        unknown = keep - set(self.providers)
+        if unknown:
+            raise ControlError(f"not providers: {sorted(unknown)}")
+        self._spec.suppressed_providers = tuple(
+            p for p in self.providers if p not in keep
+        )
+        self._apply(f"advertise only via {sorted(keep)}")
+
+    def avoid_problem(self, asns: Iterable[int]) -> None:
+        """Announce the idealized AVOID_PROBLEM(X, P) hint (§3).
+
+        Instead of poisoning, attach the signed avoid attribute to a clean
+        baseline announcement: ASes with alternatives route around X, ASes
+        without keep their tainted route (Backup Property), and X's
+        operators are notified.  This is the primitive poisoning
+        approximates; it requires protocol support no deployed router has.
+        """
+        avoid_list = tuple(asns)
+        if self.origin_asn in avoid_list:
+            raise ControlError("cannot avoid the origin itself")
+        self._spec.poisoned = ()
+        self._spec.selective = {}
+        self._avoid_hint = frozenset(avoid_list)
+        self._apply(f"avoid-problem {avoid_list}")
+
+    def unpoison(self) -> None:
+        """Return the production prefix to the clean baseline."""
+        self._spec.poisoned = ()
+        self._spec.selective = {}
+        self._spec.suppressed_providers = ()
+        self._avoid_hint = frozenset()
+        self._apply("unpoison")
+
+    def _apply(self, description: str) -> None:
+        per_neighbor = {
+            provider: self._spec.path_for(self.origin_asn, provider)
+            for provider in self.providers
+        }
+        self.engine.originate(
+            self.origin_asn,
+            self.production_prefix,
+            path=make_path(self.origin_asn, prepend=self._spec.prepend),
+            per_neighbor=per_neighbor,
+            avoid=getattr(self, "_avoid_hint", frozenset()),
+        )
+        self.log.append((self.engine.now, description))
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def currently_poisoned(self) -> Tuple[int, ...]:
+        """ASes poisoned on any announcement right now."""
+        poisoned = set(self._spec.poisoned)
+        for poison in self._spec.selective.values():
+            poisoned.update(poison)
+        return tuple(sorted(poisoned))
+
+    def is_poisoning(self) -> bool:
+        """True while any poison is in place."""
+        return bool(self.currently_poisoned)

@@ -1,0 +1,135 @@
+"""Per-speaker policy configuration: import filters, export rules, quirks.
+
+Besides standard Gao-Rexford behaviour this captures the anomalies §7.1 of
+the paper documents, because they matter for poisoning in the wild:
+
+* ``loop_max_occurrences`` — AS286-style "accept my own ASN up to N times"
+  (N=0 models networks that disable loop detection entirely, which makes
+  them immune to poisoning).
+* ``reject_peer_paths_from_customers`` — Cogent-style "drop updates from
+  customers whose path contains one of my settlement-free peers", which
+  blocks poisons of tier-1s announced through such a network.
+* community support: a *target* AS can define action communities
+  (e.g. "do not export to peers"); other ASes tag routes.  Some ASes strip
+  communities they do not understand, which is why the paper found
+  communities unreliable for failure avoidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.bgp.messages import Announcement, occurrences
+from repro.topology.relationships import Relationship, local_pref_for, may_export
+
+#: Community value understood by ASes honouring it: do not export this route
+#: to settlement-free peers (modelled on the SAVVIS example in §2.3).
+NO_EXPORT_TO_PEERS = 666
+
+
+@dataclass
+class SpeakerConfig:
+    """Tunable behaviour of one BGP speaker."""
+
+    #: How many times the local ASN may appear in an accepted path.  The
+    #: standard is 1 (any occurrence at all is a loop); 0 disables loop
+    #: detection; 2 models multi-site networks that raised the limit.
+    loop_max_occurrences: int = 1
+    #: Cogent-style filter (see module docstring).
+    reject_peer_paths_from_customers: bool = False
+    #: If False, communities are stripped from re-advertised routes (the
+    #: common tier-1 behaviour the paper measured).
+    propagates_communities: bool = True
+    #: If True, this AS honours NO_EXPORT_TO_PEERS communities addressed to
+    #: it (community tuples are (target_asn, value)).
+    honours_communities: bool = False
+    #: Local-pref overrides per neighbor ASN (else relationship default).
+    local_pref_overrides: dict = field(default_factory=dict)
+    #: Route-flap damping (RFC 2439).  Real deployments dampen prefixes
+    #: that flap repeatedly — the reason the paper kept each experimental
+    #: announcement up for 90 minutes.  Off by default, as on most of
+    #: today's Internet.
+    flap_damping: bool = False
+    damping_penalty: float = 1000.0
+    damping_suppress_threshold: float = 2000.0
+    damping_reuse_threshold: float = 750.0
+    damping_half_life: float = 900.0  # 15 minutes
+
+
+class PolicyEngine:
+    """Applies one speaker's import/export policy.
+
+    Stateless apart from the config; the speaker owns the RIBs.
+    """
+
+    def __init__(
+        self,
+        asn: int,
+        config: Optional[SpeakerConfig] = None,
+    ) -> None:
+        self.asn = asn
+        self.config = config or SpeakerConfig()
+
+    # ------------------------------------------------------------------
+    # Import
+    # ------------------------------------------------------------------
+    def accepts(
+        self,
+        announcement: Announcement,
+        relationship: Relationship,
+        peer_asns: Set[int],
+    ) -> bool:
+        """Import filter: loop prevention plus configured quirks."""
+        limit = self.config.loop_max_occurrences
+        if limit > 0 and occurrences(announcement.as_path, self.asn) >= limit:
+            return False
+        if (
+            self.config.reject_peer_paths_from_customers
+            and relationship is Relationship.CUSTOMER
+        ):
+            # Skip the first hop (the customer itself may legitimately be a
+            # peer in odd topologies); any *other* peer in the path trips
+            # the filter.
+            if any(hop in peer_asns for hop in announcement.as_path[1:]):
+                return False
+        return True
+
+    def local_pref(
+        self, neighbor: int, relationship: Relationship
+    ) -> int:
+        """Local preference assigned to routes from *neighbor*."""
+        override = self.config.local_pref_overrides.get(neighbor)
+        if override is not None:
+            return override
+        return local_pref_for(relationship)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def may_export_to(
+        self,
+        learned_from: Relationship,
+        sending_to: Relationship,
+        communities: FrozenSet[Tuple[int, int]] = frozenset(),
+    ) -> bool:
+        """Gao-Rexford export rule plus community handling."""
+        if not may_export(learned_from, sending_to):
+            return False
+        if (
+            self.config.honours_communities
+            and sending_to is Relationship.PEER
+            and (self.asn, NO_EXPORT_TO_PEERS) in communities
+        ):
+            return False
+        return True
+
+    def outbound_communities(
+        self, communities: FrozenSet[Tuple[int, int]]
+    ) -> FrozenSet[Tuple[int, int]]:
+        """Communities attached to re-advertised routes."""
+        if self.config.propagates_communities:
+            return communities
+        # Strip everything not addressed to the local AS; this is what makes
+        # communities unreliable as an Internet-wide signalling channel.
+        return frozenset(c for c in communities if c[0] == self.asn)

@@ -1,0 +1,343 @@
+"""One BGP speaker per AS: import processing, selection, export computation.
+
+The speaker is deliberately passive about time: the engine owns the clock,
+the sessions and the MRAI timers.  The speaker answers two questions — "what
+happened when this update arrived?" and "what should neighbor N currently be
+told about prefix P?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.bgp.messages import Announcement, ASPath, Withdrawal
+from repro.bgp.policy import PolicyEngine, SpeakerConfig
+from repro.bgp.rib import Route, RouteTable
+from repro.errors import BGPError
+from repro.net.addr import Prefix
+from repro.topology.relationships import Relationship
+
+#: Local-pref for self-originated routes; above any learned route.
+ORIGIN_LOCAL_PREF = 200
+
+
+@dataclass
+class OriginEntry:
+    """How this speaker originates one prefix.
+
+    ``per_neighbor`` maps neighbor ASN to the AS path announced to it, or
+    None to suppress the advertisement entirely (selective advertising /
+    selective poisoning).  Neighbors absent from the map get ``default``;
+    a ``default`` of None advertises to nobody except listed neighbors.
+    """
+
+    prefix: Prefix
+    default: Optional[ASPath]
+    per_neighbor: Dict[int, Optional[ASPath]]
+    med: int = 0
+    communities: frozenset = frozenset()
+    #: AVOID_PROBLEM(X, P) hint attached to every announcement.
+    avoid: frozenset = frozenset()
+
+    def path_for(self, neighbor: int) -> Optional[ASPath]:
+        if neighbor in self.per_neighbor:
+            return self.per_neighbor[neighbor]
+        return self.default
+
+
+class BGPSpeaker:
+    """BGP state machine for one AS."""
+
+    def __init__(
+        self,
+        asn: int,
+        neighbors: Dict[int, Relationship],
+        config: Optional[SpeakerConfig] = None,
+    ) -> None:
+        self.asn = asn
+        self.neighbors = dict(neighbors)
+        self.policy = PolicyEngine(asn, config)
+        self.table = RouteTable()
+        #: times this AS was named in an AVOID_PROBLEM hint it received
+        #: (the Notification Property: its operators learn of the issue).
+        self.avoid_notifications = 0
+        self._origins: Dict[Prefix, OriginEntry] = {}
+        # Route-flap damping state (only used when config enables it):
+        # (prefix, neighbor) -> [penalty, last-update-time].
+        self._damping: Dict[Tuple[Prefix, int], Tuple[float, float]] = {}
+        self._suppressed: Set[Tuple[Prefix, int]] = set()
+        self._pending_reuse: List[Tuple[Prefix, int, float]] = []
+        self._peer_asns: Set[int] = {
+            n for n, rel in self.neighbors.items()
+            if rel is Relationship.PEER
+        }
+
+    # ------------------------------------------------------------------
+    # Origination
+    # ------------------------------------------------------------------
+    def originate(
+        self,
+        prefix: Prefix,
+        path: Optional[ASPath] = None,
+        per_neighbor: Optional[Dict[int, Optional[ASPath]]] = None,
+        med: int = 0,
+        communities: Iterable[Tuple[int, int]] = (),
+        avoid: Iterable[int] = (),
+    ) -> None:
+        """Start (or re-configure) origination of *prefix*.
+
+        The default *path* is a single copy of the local ASN.  Any path
+        supplied must begin and end with the local ASN (BGP-Mux style
+        poisoning keeps the origin at both ends).
+        """
+        if path is None and per_neighbor is None:
+            path = (self.asn,)
+        for candidate in [path] + list((per_neighbor or {}).values()):
+            if candidate is None:
+                continue
+            if candidate[0] != self.asn or candidate[-1] != self.asn:
+                raise BGPError(
+                    f"origin path {candidate} must start and end with "
+                    f"AS{self.asn}"
+                )
+        entry = OriginEntry(
+            prefix=prefix,
+            default=path,
+            per_neighbor=dict(per_neighbor or {}),
+            med=med,
+            communities=frozenset(communities),
+            avoid=frozenset(avoid),
+        )
+        self._origins[prefix] = entry
+        # Keep a Loc-RIB entry so the local data plane can always deliver
+        # its own prefix; use the shortest configured variant.
+        loop_free = [
+            p
+            for p in [entry.default] + list(entry.per_neighbor.values())
+            if p is not None
+        ]
+        representative = min(loop_free, key=len) if loop_free else (self.asn,)
+        self.table.install(
+            Route(
+                prefix=prefix,
+                as_path=representative,
+                neighbor=self.asn,
+                relationship=Relationship.CUSTOMER,
+                local_pref=ORIGIN_LOCAL_PREF,
+                med=med,
+                communities=entry.communities,
+            )
+        )
+        self._reselect(prefix)
+
+    def stop_originating(self, prefix: Prefix) -> None:
+        """Withdraw a locally-originated prefix everywhere."""
+        if prefix in self._origins:
+            del self._origins[prefix]
+            self.table.withdraw(prefix, self.asn)
+            self._reselect(prefix)
+
+    def originates(self, prefix: Prefix) -> bool:
+        """True if this speaker originates *prefix*."""
+        return prefix in self._origins
+
+    def origin_entry(self, prefix: Prefix) -> Optional[OriginEntry]:
+        """The origination config for *prefix*, if any."""
+        return self._origins.get(prefix)
+
+    # ------------------------------------------------------------------
+    # Import side
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        update: Union[Announcement, Withdrawal],
+        now: float = 0.0,
+    ) -> Tuple[Prefix, bool]:
+        """Apply one received update at simulation time *now*.
+
+        Returns (prefix, best-route-changed).  A filtered announcement acts
+        as an implicit withdrawal of the neighbor's previous route — this is
+        precisely how poisoning reaches into remote ASes: the poisoned AS
+        filters the update (loop!) and thereby loses the path.
+        """
+        if isinstance(update, Withdrawal):
+            prefix, neighbor = update.prefix, update.sender
+            if self.policy.config.flap_damping:
+                self._apply_damping(prefix, neighbor, now)
+            removed = self.table.withdraw(prefix, neighbor)
+            if not removed:
+                return prefix, False
+            _, changed = self._reselect(prefix)
+            return prefix, changed
+
+        neighbor = update.sender
+        if neighbor not in self.neighbors:
+            raise BGPError(
+                f"AS{self.asn} got update from non-neighbor AS{neighbor}"
+            )
+        relationship = self.neighbors[neighbor]
+        if self.asn in update.avoid:
+            self.avoid_notifications += 1
+        if self.policy.config.flap_damping:
+            self._apply_damping(update.prefix, neighbor, now)
+        if self.policy.accepts(update, relationship, self._peer_asns):
+            route = Route(
+                prefix=update.prefix,
+                as_path=update.as_path,
+                neighbor=neighbor,
+                relationship=relationship,
+                local_pref=self.policy.local_pref(neighbor, relationship),
+                med=update.med,
+                communities=update.communities,
+                avoid=update.avoid,
+            )
+            self.table.install(route)
+        else:
+            self.table.withdraw(update.prefix, neighbor)
+        _, changed = self._reselect(update.prefix)
+        return update.prefix, changed
+
+    # ------------------------------------------------------------------
+    # Route-flap damping (RFC 2439)
+    # ------------------------------------------------------------------
+    def _reselect(self, prefix: Prefix) -> Tuple[Optional[Route], bool]:
+        excluded = {
+            neighbor
+            for (p, neighbor) in self._suppressed
+            if p == prefix
+        }
+        return self.table.reselect(prefix, exclude_neighbors=excluded)
+
+    def _current_penalty(
+        self, prefix: Prefix, neighbor: int, now: float
+    ) -> float:
+        entry = self._damping.get((prefix, neighbor))
+        if entry is None:
+            return 0.0
+        penalty, last = entry
+        half_life = self.policy.config.damping_half_life
+        return penalty * 0.5 ** (max(0.0, now - last) / half_life)
+
+    def _apply_damping(
+        self, prefix: Prefix, neighbor: int, now: float
+    ) -> None:
+        """Charge a flap and suppress the route if over threshold."""
+        config = self.policy.config
+        penalty = self._current_penalty(prefix, neighbor, now)
+        penalty += config.damping_penalty
+        self._damping[(prefix, neighbor)] = (penalty, now)
+        key = (prefix, neighbor)
+        if (
+            penalty >= config.damping_suppress_threshold
+            and key not in self._suppressed
+        ):
+            self._suppressed.add(key)
+            # Time for the penalty to decay back to the reuse threshold.
+            ratio = penalty / config.damping_reuse_threshold
+            delay = config.damping_half_life * math.log2(ratio)
+            self._pending_reuse.append((prefix, neighbor, now + delay))
+
+    def drain_pending_reuse(self) -> List[Tuple[Prefix, int, float]]:
+        """Reuse-timer events the engine should schedule (consumed)."""
+        pending, self._pending_reuse = self._pending_reuse, []
+        return pending
+
+    def release_damped(
+        self, prefix: Prefix, neighbor: int, now: float
+    ) -> Tuple[Prefix, bool]:
+        """Attempt to unsuppress a damped route at *now*."""
+        key = (prefix, neighbor)
+        if key not in self._suppressed:
+            return prefix, False
+        config = self.policy.config
+        if self._current_penalty(prefix, neighbor, now) > (
+            config.damping_reuse_threshold + 1e-9
+        ):
+            # Not decayed yet (extra flaps landed since): try again later.
+            self._pending_reuse.append(
+                (prefix, neighbor, now + config.damping_half_life / 4)
+            )
+            return prefix, False
+        self._suppressed.discard(key)
+        _, changed = self._reselect(prefix)
+        return prefix, changed
+
+    def is_suppressed(self, prefix: Prefix, neighbor: int) -> bool:
+        """True while the (prefix, neighbor) route is damped."""
+        return (prefix, neighbor) in self._suppressed
+
+    # ------------------------------------------------------------------
+    # Export side
+    # ------------------------------------------------------------------
+    def desired_export(
+        self, prefix: Prefix, neighbor: int
+    ) -> Optional[Announcement]:
+        """What *neighbor* should currently be told about *prefix*.
+
+        None means "no route" (a withdrawal if something was previously
+        advertised).  Locally-originated prefixes follow the per-neighbor
+        origination config; transit prefixes re-advertise the best route
+        under Gao-Rexford export policy.
+        """
+        origin_entry = self._origins.get(prefix)
+        if origin_entry is not None:
+            path = origin_entry.path_for(neighbor)
+            if path is None:
+                return None
+            return Announcement(
+                prefix=prefix,
+                as_path=path,
+                med=origin_entry.med,
+                communities=origin_entry.communities,
+                avoid=origin_entry.avoid,
+            )
+        best = self.table.best(prefix)
+        if best is None:
+            return None
+        if best.neighbor == neighbor:
+            # Don't echo a route back to the neighbor that supplied it.
+            return None
+        sending_to = self.neighbors[neighbor]
+        if not self.policy.may_export_to(
+            best.relationship, sending_to, best.communities
+        ):
+            return None
+        outbound = best.announcement().sent_by(self.asn)
+        return Announcement(
+            prefix=outbound.prefix,
+            as_path=outbound.as_path,
+            med=outbound.med,
+            communities=self.policy.outbound_communities(
+                outbound.communities
+            ),
+            avoid=outbound.avoid,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        """Loc-RIB best route for *prefix*."""
+        return self.table.best(prefix)
+
+    def next_hop_as(self, prefix: Prefix) -> Optional[int]:
+        """AS-level next hop toward *prefix* (self if originated)."""
+        best = self.table.best(prefix)
+        if best is None:
+            return None
+        return best.neighbor
+
+    def uses_as(self, prefix: Prefix, asn: int) -> bool:
+        """True if traffic on the selected route for *prefix* crosses *asn*.
+
+        Poison tails are excluded: an AS whose path is ``(B, O, A, O)``
+        does not *use* A even though A appears in the path attribute.
+        """
+        best = self.table.best(prefix)
+        if best is None:
+            return False
+        from repro.bgp.messages import traversed_ases
+
+        return asn in traversed_ases(best.as_path, best.origin)

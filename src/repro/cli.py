@@ -1,0 +1,217 @@
+"""Command-line entry point: run the reproduction's studies from a shell.
+
+Installed as ``lifeguard-repro`` (see pyproject).  Each subcommand runs
+one of the evaluation studies at a configurable scale and prints the same
+paper-vs-measured tables the benchmarks archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import Table
+from repro.analysis.residual import residual_duration_curve
+from repro.workloads.outages import generate_outage_trace
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    trace = generate_outage_trace(seed=args.seed)
+    table = Table(
+        "Fig. 1: outage durations vs unavailability",
+        ["duration (min)", "CDF of outages", "CDF of unavailability"],
+    )
+    for seconds, events, downtime in trace.duration_cdf(
+        [90, 300, 600, 3600, 86400]
+    ):
+        table.add_row(seconds / 60.0, events, downtime)
+    table.emit()
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    trace = generate_outage_trace(seed=args.seed)
+    table = Table(
+        "Fig. 5: residual duration after X minutes",
+        ["elapsed (min)", "survivors", "mean (min)", "median (min)",
+         "25th pct (min)"],
+    )
+    for point in residual_duration_curve(
+        trace.durations, tuple(range(0, 31, 5))
+    ):
+        table.add_row(
+            point.elapsed_minutes, point.survivors, point.mean_minutes,
+            point.median_minutes, point.p25_minutes,
+        )
+    table.emit()
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.convergence import (
+        run_poisoning_convergence_study,
+    )
+
+    study, _graph = run_poisoning_convergence_study(
+        scale=args.scale, seed=args.seed, max_poisons=args.max_poisons
+    )
+    table = Table(
+        "Fig. 6: convergence after poisoning",
+        ["curve", "peers", "instant", "within 50s"],
+    )
+    for prepended in (True, False):
+        for changed in (False, True):
+            records = study.convergence_records(prepended, changed)
+            name = (
+                f"{'prepend' if prepended else 'no-prepend'}, "
+                f"{'change' if changed else 'no-change'}"
+            )
+            table.add_row(
+                name,
+                len(records),
+                study.instant_fraction(prepended, changed),
+                study.converged_within(prepended, changed, 50.0),
+            )
+    table.emit()
+    return 0
+
+
+def _cmd_efficacy(args: argparse.Namespace) -> int:
+    from repro.experiments.efficacy import run_topology_efficacy_study
+
+    study, _graph = run_topology_efficacy_study(
+        scale=args.scale, seed=args.seed, max_cases=args.max_cases
+    )
+    table = Table("Sec 5.1: simulated poisoning efficacy",
+                  ["metric", "value"])
+    table.add_row("cases", len(study.outcomes))
+    table.add_row("fraction with alternates",
+                  study.fraction_with_alternates)
+    table.emit()
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.experiments.accuracy import run_isolation_accuracy_study
+
+    study, _scenario = run_isolation_accuracy_study(
+        scale=args.scale, seed=args.seed, num_cases=args.cases,
+        reply_loss_rate=0.05,
+    )
+    table = Table("Sec 5.3: isolation accuracy", ["metric", "value"])
+    table.add_row("cases", len(study.cases))
+    table.add_row("accuracy (ground truth)", study.accuracy)
+    table.add_row("traceroute differs", study.traceroute_difference_fraction)
+    table.add_row("mean probes", study.mean_probes)
+    table.emit()
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.workloads.hubble import (
+        estimate_update_load,
+        generate_hubble_dataset,
+    )
+
+    dataset = generate_hubble_dataset(seed=args.seed)
+    table = Table(
+        "Table 2: additional daily path changes",
+        ["I", "T", "d (min)", "daily path changes"],
+    )
+    for cell in estimate_update_load(dataset):
+        table.add_row(
+            cell.deploying_fraction, cell.monitored_fraction,
+            int(cell.wait_minutes), cell.daily_path_changes,
+        )
+    table.emit()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """The quickstart repair loop, inline (same story as the example)."""
+    from repro.dataplane.failures import ASForwardingFailure
+    from repro.workloads.scenarios import build_deployment
+
+    scenario = build_deployment(scale="tiny", seed=args.seed,
+                                num_providers=2)
+    lifeguard = scenario.lifeguard
+    topo = scenario.topo
+    target = scenario.targets[0]
+    origin_router = topo.routers_of(scenario.origin_asn)[0]
+    target_rid = lifeguard.dataplane.host_router(target)
+    walk = lifeguard.dataplane.forward(
+        target_rid, topo.router(origin_router).address
+    )
+    bad_asn = next(
+        a
+        for a in walk.as_level_hops(topo)[1:-1]
+        if a != scenario.origin_asn
+    )
+    lifeguard.prime_atlas(now=0.0)
+    lifeguard.dataplane.failures.add(
+        ASForwardingFailure(
+            asn=bad_asn,
+            toward=lifeguard.sentinel_manager.sentinel,
+            start=1000.0,
+            end=8200.0,
+        )
+    )
+    lifeguard.run(start=30.0, end=9600.0)
+    table = Table("LIFEGUARD repair demo", ["event", "value"])
+    for record in lifeguard.records:
+        if record.poisoned_asn != bad_asn:
+            continue
+        table.add_row("failed AS", f"AS{bad_asn}")
+        table.add_row("direction", record.isolation.direction.value)
+        table.add_row("poisoned at (s)", record.poison_time)
+        table.add_row("convergence (s)", record.convergence_seconds)
+        table.add_row("repair detected (s)", record.repair_detected_time)
+        table.add_row("final state", record.state.value)
+    table.emit()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lifeguard-repro",
+        description="LIFEGUARD (SIGCOMM'12) reproduction experiments",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="outage duration CDFs").set_defaults(
+        func=_cmd_fig1
+    )
+    sub.add_parser("fig5", help="residual durations").set_defaults(
+        func=_cmd_fig5
+    )
+    p = sub.add_parser("fig6", help="poisoning convergence study")
+    p.add_argument("--scale", default="small")
+    p.add_argument("--max-poisons", type=int, default=10)
+    p.set_defaults(func=_cmd_fig6)
+    p = sub.add_parser("efficacy", help="simulated poisoning efficacy")
+    p.add_argument("--scale", default="medium")
+    p.add_argument("--max-cases", type=int, default=30000)
+    p.set_defaults(func=_cmd_efficacy)
+    p = sub.add_parser("accuracy", help="isolation accuracy study")
+    p.add_argument("--scale", default="small")
+    p.add_argument("--cases", type=int, default=40)
+    p.set_defaults(func=_cmd_accuracy)
+    sub.add_parser("table2", help="update-load model").set_defaults(
+        func=_cmd_table2
+    )
+    sub.add_parser("demo", help="end-to-end repair demo").set_defaults(
+        func=_cmd_demo
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Failure remediation: deciding to poison, poisoning, and unpoisoning.
+
+This package is LIFEGUARD's control loop (§4.2, §3.1): a residual-duration
+model decides whether an outage is likely to persist long enough to justify
+rerouting, the origin controller crafts the poisoned announcements, and the
+sentinel manager detects when the underlying failure has been repaired so
+the poison can be withdrawn.
+"""
+
+from repro.control.decision import (
+    PoisonDecision,
+    ResidualDurationModel,
+)
+from repro.control.sentinel import SentinelManager, SentinelStyle
+from repro.control.lifeguard import (
+    Lifeguard,
+    LifeguardConfig,
+    RepairRecord,
+)
+
+__all__ = [
+    "ResidualDurationModel",
+    "PoisonDecision",
+    "SentinelManager",
+    "SentinelStyle",
+    "Lifeguard",
+    "LifeguardConfig",
+    "RepairRecord",
+]

@@ -1,0 +1,299 @@
+"""The top-level LIFEGUARD system: monitor -> isolate -> decide -> repair.
+
+One :class:`Lifeguard` instance plays the role of the deployed system: it
+owns the vantage points, the background atlas, the isolation engine, the
+origin's announcement controller, and the sentinel.  Drive it with
+:meth:`tick` every monitoring round (30 s of simulation time); it walks
+each outage through the state machine
+
+    observed -> isolated -> poisoned -> repaired-and-unpoisoned
+
+recording everything in :class:`RepairRecord` entries that the evaluation
+benches read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.bgp.engine import BGPEngine
+from repro.bgp.origin import OriginController
+from repro.control.decision import PoisonDecision, ResidualDurationModel
+from repro.control.sentinel import SentinelManager, SentinelStyle
+from repro.dataplane.fib import build_fibs
+from repro.dataplane.forwarding import DataPlane
+from repro.dataplane.probes import Prober
+from repro.errors import ControlError
+from repro.isolation.direction import FailureDirection
+from repro.isolation.isolator import FailureIsolator, IsolationResult
+from repro.measure.atlas import AtlasRefresher, PathAtlas
+from repro.measure.monitor import OutageRecord, PingMonitor
+from repro.measure.responsiveness import ResponsivenessDB
+from repro.measure.vantage import VantageSet
+from repro.net.addr import Address, Prefix
+from repro.splice.reachability import reachable_set_avoiding
+from repro.topology.routers import RouterTopology
+
+
+class RepairState(enum.Enum):
+    """Lifecycle of one outage under LIFEGUARD's care."""
+
+    OBSERVED = "observed"
+    ISOLATED = "isolated"
+    NOT_POISONED = "not-poisoned"      # decided against (or unable)
+    POISONED = "poisoned"
+    UNPOISONED = "unpoisoned"
+
+
+@dataclass
+class RepairRecord:
+    """Everything that happened to one outage."""
+
+    outage: OutageRecord
+    state: RepairState = RepairState.OBSERVED
+    isolation: Optional[IsolationResult] = None
+    decision: Optional[PoisonDecision] = None
+    poisoned_asn: Optional[int] = None
+    poison_time: Optional[float] = None
+    convergence_seconds: Optional[float] = None
+    repair_detected_time: Optional[float] = None
+    unpoison_time: Optional[float] = None
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LifeguardConfig:
+    """Operating parameters of the deployment."""
+
+    monitor_interval: float = 30.0
+    #: outage age before poisoning is considered (§4.2 waits ~5 minutes).
+    min_persistence: float = 300.0
+    #: expected remediation cost used by the decision rule.
+    remediation_time: float = 120.0
+    #: how often to probe the sentinel for repair while poisoned.
+    repair_check_interval: float = 600.0
+    sentinel_style: SentinelStyle = SentinelStyle.LESS_SPECIFIC
+    #: prepend count for the baseline announcement (O-O-O).
+    prepend: int = 3
+    #: remediate with the idealized AVOID_PROBLEM(X, P) primitive instead
+    #: of BGP poisoning.  Requires protocol support no deployed router
+    #: has (§3) — available in simulation to quantify the gap.
+    use_avoid_problem: bool = False
+
+
+class Lifeguard:
+    """The deployed system bound to one origin AS."""
+
+    def __init__(
+        self,
+        engine: BGPEngine,
+        topo: RouterTopology,
+        origin_asn: int,
+        vantage_points: VantageSet,
+        targets: Iterable[Union[str, Address]],
+        duration_history: Sequence[float],
+        config: Optional[LifeguardConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.topo = topo
+        self.origin_asn = origin_asn
+        self.config = config or LifeguardConfig()
+        self.vantage_points = vantage_points
+        self.targets = [Address(t) for t in targets]
+
+        node = engine.graph.node(origin_asn)
+        if not node.prefixes:
+            raise ControlError(f"AS{origin_asn} originates no prefix")
+        self.production_prefix: Prefix = node.prefixes[0]
+
+        self.dataplane = DataPlane(topo, build_fibs(engine))
+        self.prober = Prober(self.dataplane)
+        self.atlas = PathAtlas()
+        self.responsiveness = ResponsivenessDB()
+        self.refresher = AtlasRefresher(
+            self.prober, vantage_points, self.atlas, self.responsiveness
+        )
+        self.monitor = PingMonitor(self.prober, vantage_points, self.targets)
+        self.isolator = FailureIsolator(
+            self.prober, vantage_points, self.atlas, self.responsiveness
+        )
+        self.decision_model = ResidualDurationModel(duration_history)
+
+        origin_router = topo.routers_of(origin_asn)[0]
+        self.sentinel_manager = SentinelManager(
+            self.prober,
+            origin_router,
+            self.production_prefix,
+            style=self.config.sentinel_style,
+        )
+        self.origin = OriginController(
+            engine,
+            origin_asn,
+            self.production_prefix,
+            sentinel_prefix=self.sentinel_manager.sentinel,
+            prepend=self.config.prepend,
+        )
+        self.records: List[RepairRecord] = []
+        self._records_by_outage: Dict[int, RepairRecord] = {}
+        self._last_repair_check: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def announce(self) -> None:
+        """Announce the baseline (prepended) production + sentinel prefixes."""
+        self.origin.announce_baseline()
+        self.engine.run()
+        self.refresh_dataplane()
+
+    def prime_atlas(self, now: float) -> None:
+        """Populate the background path atlas for every monitored pair."""
+        self.dataplane.now = now
+        self.refresher.refresh_all(self.targets, now)
+
+    def refresh_dataplane(self) -> None:
+        """Re-snapshot FIBs after any control-plane change."""
+        self.dataplane.fibs = build_fibs(self.engine)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> None:
+        """One monitoring round plus any due control actions."""
+        if self.engine.now < now:
+            self.engine.advance_to(now)
+        self.dataplane.now = now
+        self.monitor.run_round(now)
+        for outage in self.monitor.ongoing_outages():
+            record = self._record_for(outage)
+            if record.state is RepairState.OBSERVED:
+                self._maybe_isolate_and_poison(record, now)
+        # Poisoned records keep getting repair checks even after the
+        # monitor sees connectivity again — the monitor's pings travel the
+        # *poisoned* (rerouted) path, so its recovery says nothing about
+        # whether the underlying failure was fixed.
+        for record in self.records:
+            if record.state is RepairState.POISONED:
+                self._maybe_check_repair(record, now)
+
+    def run(self, start: float, end: float) -> None:
+        """Tick from *start* to *end* at the monitor interval."""
+        now = start
+        while now <= end:
+            self.tick(now)
+            now += self.config.monitor_interval
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _record_for(self, outage: OutageRecord) -> RepairRecord:
+        key = id(outage)
+        record = self._records_by_outage.get(key)
+        if record is None:
+            record = RepairRecord(outage=outage)
+            self._records_by_outage[key] = record
+            self.records.append(record)
+        return record
+
+    def _maybe_isolate_and_poison(
+        self, record: RepairRecord, now: float
+    ) -> None:
+        elapsed = now - record.outage.start
+        decision = self.decision_model.decide(
+            elapsed,
+            remediation_time=self.config.remediation_time,
+            min_elapsed=self.config.min_persistence,
+        )
+        record.decision = decision
+        if not decision.poison:
+            return  # re-evaluated next tick while the outage persists
+        isolation = self.isolator.isolate(
+            record.outage.vp_name, record.outage.destination, now
+        )
+        record.isolation = isolation
+        record.state = RepairState.ISOLATED
+        if isolation.blamed_asn is None:
+            record.state = RepairState.NOT_POISONED
+            record.notes.append("isolation produced no suspect AS")
+            return
+        if not self._poisonable(isolation, record):
+            record.state = RepairState.NOT_POISONED
+            return
+        self._poison(record, isolation.blamed_asn, now)
+
+    def _poisonable(
+        self, isolation: IsolationResult, record: RepairRecord
+    ) -> bool:
+        blamed = isolation.blamed_asn
+        target_asn = self._asn_of_address(record.outage.destination)
+        if blamed in (self.origin_asn, target_asn):
+            record.notes.append(
+                f"failure inside edge AS{blamed}: local repair, not poisoning"
+            )
+            return False
+        reachable = reachable_set_avoiding(
+            self.engine.graph, self.origin_asn, avoid=[blamed]
+        )
+        if target_asn not in reachable:
+            record.notes.append(
+                f"no policy-compliant path avoiding AS{blamed}: not poisoning"
+            )
+            return False
+        return True
+
+    def _poison(self, record: RepairRecord, asn: int, now: float) -> None:
+        if self.config.use_avoid_problem:
+            self.origin.avoid_problem([asn])
+        else:
+            self.origin.poison([asn])
+        converged_at = self.engine.run()
+        record.state = RepairState.POISONED
+        record.poisoned_asn = asn
+        record.poison_time = now
+        record.convergence_seconds = max(0.0, converged_at - now)
+        self._last_repair_check[id(record)] = now
+        self.refresh_dataplane()
+
+    def _maybe_check_repair(self, record: RepairRecord, now: float) -> None:
+        last = self._last_repair_check.get(id(record), float("-inf"))
+        if now - last < self.config.repair_check_interval:
+            return
+        self._last_repair_check[id(record)] = now
+        if not self.sentinel_manager.can_detect_repair:
+            return
+        test_destinations = [
+            self.topo.router(rid).address
+            for rid in self.topo.routers_of(record.poisoned_asn)
+            if self.topo.router(rid).responds_to_ping
+        ]
+        check = self.sentinel_manager.check_repair(test_destinations, now)
+        if check.repaired:
+            record.repair_detected_time = now
+            self.unpoison(record, now)
+
+    def unpoison(self, record: RepairRecord, now: float) -> None:
+        """Withdraw the poison and return to the baseline announcement."""
+        self.origin.unpoison()
+        self.engine.run()
+        self.refresh_dataplane()
+        record.unpoison_time = now
+        record.state = RepairState.UNPOISONED
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _asn_of_address(self, address: Address) -> Optional[int]:
+        router = self.topo.router_by_address(address)
+        if router is not None:
+            return router.asn
+        return self.dataplane.fibs.origin_for(address)
+
+    def poisoned_records(self) -> List[RepairRecord]:
+        """Records that reached the POISONED (or later) state."""
+        return [
+            r
+            for r in self.records
+            if r.state in (RepairState.POISONED, RepairState.UNPOISONED)
+        ]

@@ -1,0 +1,34 @@
+"""Router-level data plane: forwarding walks, failures, measurement probes.
+
+The data plane is a *snapshot* of the control plane (per-AS FIBs derived
+from the BGP engine's Loc-RIBs) plus a set of injected failures.  Failures
+are silent by default — the control plane keeps advertising routes that the
+data plane fails to deliver, which is exactly the pathology LIFEGUARD
+targets.
+"""
+
+from repro.dataplane.fib import FibSnapshot, build_fibs
+from repro.dataplane.failures import (
+    ASForwardingFailure,
+    FailureSet,
+    LinkFailure,
+    RouterFailure,
+)
+from repro.dataplane.forwarding import DataPlane, ForwardOutcome, ForwardResult
+from repro.dataplane.probes import Prober, TracerouteResult
+from repro.dataplane.reverse_traceroute import ReverseTracerouteTool
+
+__all__ = [
+    "FibSnapshot",
+    "build_fibs",
+    "FailureSet",
+    "LinkFailure",
+    "RouterFailure",
+    "ASForwardingFailure",
+    "DataPlane",
+    "ForwardOutcome",
+    "ForwardResult",
+    "Prober",
+    "TracerouteResult",
+    "ReverseTracerouteTool",
+]

@@ -1,0 +1,151 @@
+"""Failure models injected into the data plane.
+
+All failures here are *silent*: the control plane keeps advertising the
+affected routes (a corrupted line card, a broken MPLS tunnel, a router that
+fails to detect an internal fault — the §2.1 pathologies).  Each failure
+can be made *unidirectional* by scoping it to destinations inside one
+prefix: an `ASForwardingFailure(asn=A, toward=prefix_of_S)` reproduces "A
+no longer has a working path back to S" while A still forwards everything
+else, the exact situation of the paper's Rostelecom example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple, Union
+
+from repro.net.addr import Address, Prefix
+
+_failure_ids = itertools.count(1)
+
+
+@dataclass
+class _FailureBase:
+    """Common switches: activation window and destination scoping."""
+
+    #: Destinations the failure applies to (None = all traffic).
+    toward: Optional[Prefix] = None
+    #: Simulation-time window [start, end) during which the failure holds.
+    start: float = float("-inf")
+    end: float = float("inf")
+    failure_id: int = field(default_factory=lambda: next(_failure_ids))
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def matches_destination(self, destination: Address) -> bool:
+        return self.toward is None or destination in self.toward
+
+
+@dataclass
+class RouterFailure(_FailureBase):
+    """A router silently drops every matching packet it should forward."""
+
+    rid: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rid:
+            raise ValueError("RouterFailure needs a router id")
+
+
+@dataclass
+class LinkFailure(_FailureBase):
+    """A router-level link drops matching packets.
+
+    ``bidirectional=False`` drops only packets travelling a->b, modelling
+    one dead direction of a link (grey failures).
+    """
+
+    a: str = ""
+    b: str = ""
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.a or not self.b:
+            raise ValueError("LinkFailure needs both router ids")
+
+    def drops_hop(self, from_rid: str, to_rid: str) -> bool:
+        if (from_rid, to_rid) == (self.a, self.b):
+            return True
+        return self.bidirectional and (from_rid, to_rid) == (self.b, self.a)
+
+
+@dataclass
+class ASForwardingFailure(_FailureBase):
+    """An entire AS blackholes matching traffic (while still advertising).
+
+    This is the paper's canonical long-lasting outage: the AS's BGP
+    announcements are intact but its data plane drops packets toward some
+    destinations.  Scoping ``toward`` to the source network's prefix makes
+    it a *reverse-path* failure from that network's point of view.
+    """
+
+    asn: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.asn:
+            raise ValueError("ASForwardingFailure needs an ASN")
+
+
+Failure = Union[RouterFailure, LinkFailure, ASForwardingFailure]
+
+
+class FailureSet:
+    """The set of failures currently injected, queried per forwarding hop."""
+
+    def __init__(self, failures: Iterable[Failure] = ()) -> None:
+        self._failures: List[Failure] = list(failures)
+
+    def add(self, failure: Failure) -> Failure:
+        self._failures.append(failure)
+        return failure
+
+    def remove(self, failure: Failure) -> None:
+        self._failures.remove(failure)
+
+    def clear(self) -> None:
+        self._failures.clear()
+
+    def __len__(self) -> int:
+        return len(self._failures)
+
+    def __iter__(self):
+        return iter(self._failures)
+
+    def router_drops(
+        self, rid: str, asn: int, destination: Address, now: float
+    ) -> bool:
+        """Does the router *rid* (in *asn*) drop a packet to *destination*?"""
+        for failure in self._failures:
+            if not failure.active(now):
+                continue
+            if not failure.matches_destination(destination):
+                continue
+            if isinstance(failure, RouterFailure) and failure.rid == rid:
+                return True
+            if (
+                isinstance(failure, ASForwardingFailure)
+                and failure.asn == asn
+            ):
+                return True
+        return False
+
+    def link_drops(
+        self, from_rid: str, to_rid: str, destination: Address, now: float
+    ) -> bool:
+        """Does the from->to router link drop a packet to *destination*?"""
+        for failure in self._failures:
+            if not failure.active(now):
+                continue
+            if not failure.matches_destination(destination):
+                continue
+            if isinstance(failure, LinkFailure) and failure.drops_hop(
+                from_rid, to_rid
+            ):
+                return True
+        return False
+
+    def active_failures(self, now: float) -> List[Failure]:
+        """Failures in force at *now*."""
+        return [f for f in self._failures if f.active(now)]

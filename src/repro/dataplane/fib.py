@@ -1,0 +1,67 @@
+"""Per-AS FIB snapshots derived from the BGP engine's Loc-RIBs.
+
+Each AS gets a longest-prefix-match trie mapping prefixes to the AS-level
+next hop (or LOCAL for prefixes the AS originates).  The data plane
+resolves the AS-level next hop to concrete routers with hot-potato egress
+selection at forwarding time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.bgp.engine import BGPEngine
+from repro.net.addr import Address, Prefix
+from repro.net.trie import PrefixTrie
+
+#: Sentinel next-hop meaning "this AS originates the prefix".
+LOCAL = -1
+
+
+@dataclass
+class FibSnapshot:
+    """Frozen forwarding state for the whole topology at one instant."""
+
+    #: asn -> LPM trie of prefix -> next-hop asn (or LOCAL).
+    tables: Dict[int, PrefixTrie] = field(default_factory=dict)
+    #: prefix -> originating asn, for host-attachment decisions.
+    origins: Dict[Prefix, int] = field(default_factory=dict)
+
+    def next_hop_as(
+        self, asn: int, destination: Union[int, str, Address]
+    ) -> Optional[int]:
+        """AS-level next hop at *asn* for *destination* (LOCAL, asn, None)."""
+        table = self.tables.get(asn)
+        if table is None:
+            return None
+        return table.lookup_value(destination)
+
+    def origin_for(
+        self, destination: Union[int, str, Address]
+    ) -> Optional[int]:
+        """The AS hosting *destination*, per most-specific originated prefix."""
+        best: Optional[Prefix] = None
+        owner: Optional[int] = None
+        address = Address(destination)
+        for prefix, asn in self.origins.items():
+            if address in prefix and (
+                best is None or prefix.length > best.length
+            ):
+                best, owner = prefix, asn
+        return owner
+
+
+def build_fibs(engine: BGPEngine) -> FibSnapshot:
+    """Snapshot every speaker's Loc-RIB into forwarding tables."""
+    snapshot = FibSnapshot()
+    for asn, speaker in engine.speakers.items():
+        trie: PrefixTrie = PrefixTrie()
+        for prefix, route in speaker.table.loc_rib().items():
+            if route.neighbor == asn:
+                trie[prefix] = LOCAL
+                snapshot.origins[prefix] = asn
+            else:
+                trie[prefix] = route.neighbor
+        snapshot.tables[asn] = trie
+    return snapshot

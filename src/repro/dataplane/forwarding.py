@@ -1,0 +1,196 @@
+"""Hop-by-hop forwarding walks over the router topology.
+
+A walk consults the per-AS FIB at every hop, picks the hot-potato egress
+router toward the AS-level next hop, steps router-by-router (decrementing
+TTL), and checks the failure set at each router and link.  Failures are
+applied even at the emitting router — a reply generated inside a
+blackholing AS dies before it leaves, which is what makes unidirectional
+failures observable the way the paper describes.
+
+TTL semantics follow real routers: a packet whose TTL expires at a transit
+router elicits a TTL-exceeded there, but a packet arriving *at its
+destination* is consumed regardless — hosts do not generate TTL-exceeded
+for packets addressed to them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.dataplane.failures import FailureSet
+from repro.dataplane.fib import LOCAL, FibSnapshot
+from repro.net.addr import Address
+from repro.topology.routers import RouterTopology
+
+_MAX_ROUTER_HOPS = 256
+
+
+class ForwardOutcome(enum.Enum):
+    """Terminal state of a forwarding walk."""
+
+    DELIVERED = "delivered"
+    NO_ROUTE = "no-route"
+    DROPPED = "dropped"          # silent failure ate the packet
+    TTL_EXPIRED = "ttl-expired"
+    LOOP = "loop"
+    NO_LINK = "no-link"          # FIB points at an AS with no physical link
+
+
+@dataclass
+class ForwardResult:
+    """Everything observable about one packet's trip."""
+
+    outcome: ForwardOutcome
+    #: routers traversed in order, starting with the emitting router.
+    hops: List[str] = field(default_factory=list)
+    #: router where the walk ended (delivery point or drop point).
+    final_router: Optional[str] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.outcome is ForwardOutcome.DELIVERED
+
+    def as_level_hops(self, topo: RouterTopology) -> List[int]:
+        """AS sequence of the traversed routers (duplicates collapsed)."""
+        out: List[int] = []
+        for rid in self.hops:
+            asn = topo.router(rid).asn
+            if not out or out[-1] != asn:
+                out.append(asn)
+        return out
+
+
+class DataPlane:
+    """A forwarding engine bound to one FIB snapshot and failure set."""
+
+    def __init__(
+        self,
+        topo: RouterTopology,
+        fibs: FibSnapshot,
+        failures: Optional[FailureSet] = None,
+        now: float = 0.0,
+    ) -> None:
+        self.topo = topo
+        self.fibs = fibs
+        self.failures = failures if failures is not None else FailureSet()
+        self.now = now
+
+    # ------------------------------------------------------------------
+    # Host attachment
+    # ------------------------------------------------------------------
+    def host_router(
+        self, destination: Union[int, str, Address]
+    ) -> Optional[str]:
+        """The router that terminates *destination*.
+
+        Router-interface addresses map to their router; any other address
+        inside an originated prefix is a host hanging off the origin AS's
+        first router.
+        """
+        address = Address(destination)
+        router = self.topo.router_by_address(address)
+        if router is not None:
+            return router.rid
+        owner = self.fibs.origin_for(address)
+        if owner is None:
+            return None
+        routers = self.topo.routers_of(owner)
+        return routers[0] if routers else None
+
+    # ------------------------------------------------------------------
+    # The walk
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        source_rid: str,
+        destination: Union[int, str, Address],
+        ttl: int = 64,
+        now: Optional[float] = None,
+    ) -> ForwardResult:
+        """Walk a packet from *source_rid* toward *destination*."""
+        now = self.now if now is None else now
+        address = Address(destination)
+        target_rid = self.host_router(address)
+        current = source_rid
+        hops = [current]
+        visited = {current}
+
+        def dropped_at(rid: str) -> bool:
+            asn = self.topo.router(rid).asn
+            return self.failures.router_drops(rid, asn, address, now)
+
+        if dropped_at(current):
+            return ForwardResult(ForwardOutcome.DROPPED, hops, current)
+
+        for _ in range(_MAX_ROUTER_HOPS):
+            current_asn = self.topo.router(current).asn
+            next_as = self.fibs.next_hop_as(current_asn, address)
+            if next_as is None:
+                return ForwardResult(ForwardOutcome.NO_ROUTE, hops, current)
+
+            if next_as == LOCAL:
+                if (
+                    target_rid is None
+                    or self.topo.router(target_rid).asn != current_asn
+                ):
+                    # Prefix originated here but no host terminates the
+                    # address (or a more-specific host lives elsewhere).
+                    return ForwardResult(
+                        ForwardOutcome.NO_ROUTE, hops, current
+                    )
+                if current == target_rid:
+                    return ForwardResult(
+                        ForwardOutcome.DELIVERED, hops, current
+                    )
+                next_rid = self.topo.intra_next_hop(current, target_rid)
+                if next_rid is None:
+                    return ForwardResult(
+                        ForwardOutcome.NO_ROUTE, hops, current
+                    )
+            else:
+                egress = self.topo.egress_router(current, next_as)
+                if egress is None:
+                    return ForwardResult(
+                        ForwardOutcome.NO_LINK, hops, current
+                    )
+                egress_rid, ingress_rid = egress
+                if current == egress_rid:
+                    next_rid = ingress_rid
+                else:
+                    next_rid = self.topo.intra_next_hop(current, egress_rid)
+                    if next_rid is None:
+                        return ForwardResult(
+                            ForwardOutcome.NO_ROUTE, hops, current
+                        )
+
+            if self.failures.link_drops(current, next_rid, address, now):
+                return ForwardResult(ForwardOutcome.DROPPED, hops, current)
+
+            ttl -= 1
+            hops.append(next_rid)
+            arriving_at_destination = (
+                next_rid == target_rid
+                and self.fibs.next_hop_as(
+                    self.topo.router(next_rid).asn, address
+                ) == LOCAL
+            )
+            if arriving_at_destination:
+                # Delivery check precedes the drop check: the packet is
+                # consumed by the host before the router would forward it.
+                return ForwardResult(
+                    ForwardOutcome.DELIVERED, hops, next_rid
+                )
+            if ttl <= 0:
+                return ForwardResult(
+                    ForwardOutcome.TTL_EXPIRED, hops, next_rid
+                )
+            if dropped_at(next_rid):
+                return ForwardResult(ForwardOutcome.DROPPED, hops, next_rid)
+            if next_rid in visited:
+                return ForwardResult(ForwardOutcome.LOOP, hops, next_rid)
+            visited.add(next_rid)
+            current = next_rid
+
+        return ForwardResult(ForwardOutcome.LOOP, hops, current)

@@ -1,0 +1,308 @@
+"""Measurement primitives: ping, traceroute, and their spoofed variants.
+
+Every probe is two forwarding walks — the request and the reply — so a
+reply can die on a broken reverse path even when the forward direction
+works.  Spoofed probes decouple the two: the request is emitted by one
+vantage point while the reply travels toward another, which is how the
+paper isolates the *direction* of a failure (§4.1.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.dataplane.forwarding import DataPlane, ForwardOutcome, ForwardResult
+from repro.errors import MeasurementError
+from repro.net.addr import Address
+
+#: Real traceroute gives up after a run of silent hops; so do we.
+_TRACEROUTE_GAP_LIMIT = 4
+_TRACEROUTE_MAX_TTL = 64
+#: The IPv4 record-route option holds at most nine addresses — the
+#: constraint the reverse-traceroute algorithm is built around.
+RECORD_ROUTE_SLOTS = 9
+
+
+@dataclass
+class PingResult:
+    """Outcome of one (possibly spoofed) ping."""
+
+    success: bool
+    request: ForwardResult
+    reply: Optional[ForwardResult] = None
+    #: address of the router that answered, when one did.
+    responder: Optional[Address] = None
+
+
+@dataclass
+class RecordRouteResult:
+    """Outcome of a ping carrying the IP record-route option.
+
+    ``recorded`` holds up to nine router addresses stamped along the
+    probe's forward path *and then its reply path* — the key mechanic:
+    if the probe reaches the destination with slots to spare, the first
+    hops of the *reverse* path get recorded, which is how reverse
+    traceroute sees the direction it cannot probe directly.
+    """
+
+    success: bool
+    recorded: List[Address] = field(default_factory=list)
+    #: the reply-side subset of ``recorded`` (new reverse-path hops).
+    recorded_reply: List[Address] = field(default_factory=list)
+    #: where the reply was delivered (the spoofed receiver, if any).
+    received_by: Optional[str] = None
+
+
+@dataclass
+class TracerouteResult:
+    """Outcome of a traceroute: one entry per TTL.
+
+    ``hops[i]`` is the responding address at TTL i+1, or None for a silent
+    hop (probe or reply lost, or an unresponsive router).
+    """
+
+    source: str
+    destination: Address
+    hops: List[Optional[Address]] = field(default_factory=list)
+    reached: bool = False
+
+    def responding_hops(self) -> List[Address]:
+        """The non-None hop addresses, in order."""
+        return [h for h in self.hops if h is not None]
+
+    def last_responsive(self) -> Optional[Address]:
+        """The deepest hop that answered."""
+        responding = self.responding_hops()
+        return responding[-1] if responding else None
+
+
+class Prober:
+    """Issues probes over a :class:`DataPlane` and accounts for them.
+
+    ``reply_loss_rate`` injects random reply loss (ICMP rate limiting) so
+    the measurement layers above have to tolerate missing answers the way
+    the real system does.
+    """
+
+    def __init__(
+        self,
+        dataplane: DataPlane,
+        reply_loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.dataplane = dataplane
+        self.reply_loss_rate = reply_loss_rate
+        self._rng = random.Random(seed)
+        #: total probe packets emitted (for the §5.4 accounting).
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _address_of(self, rid: str) -> Address:
+        return self.dataplane.topo.router(rid).address
+
+    def _reply_lost(self) -> bool:
+        return (
+            self.reply_loss_rate > 0
+            and self._rng.random() < self.reply_loss_rate
+        )
+
+    def _send_reply(
+        self, from_rid: str, to_address: Address
+    ) -> ForwardResult:
+        return self.dataplane.forward(from_rid, to_address)
+
+    def _reply_reaches(
+        self, reply: ForwardResult, to_address: Address
+    ) -> bool:
+        if not reply.delivered:
+            return False
+        expected = self.dataplane.host_router(to_address)
+        return expected is not None and reply.final_router == expected
+
+    # ------------------------------------------------------------------
+    # Ping
+    # ------------------------------------------------------------------
+    def ping(
+        self,
+        source_rid: str,
+        destination: Union[str, Address],
+        receive_at: Optional[str] = None,
+        claimed_address: Optional[Address] = None,
+    ) -> PingResult:
+        """Ping *destination* from *source_rid*.
+
+        With *receive_at* (a router id), the probe is spoofed: the echo
+        reply travels toward that vantage point instead of the sender.
+        *claimed_address* sets the spoofed source to an arbitrary address
+        instead — LIFEGUARD pings from its sentinel prefix's unused space
+        this way to test whether a poisoned path has been repaired.
+        """
+        self.probes_sent += 1
+        destination = Address(destination)
+        if claimed_address is not None:
+            claimed = Address(claimed_address)
+        else:
+            claimed = self._address_of(receive_at or source_rid)
+        request = self.dataplane.forward(source_rid, destination)
+        if not request.delivered:
+            return PingResult(success=False, request=request)
+        responder_rid = request.final_router
+        responder = self.dataplane.topo.router(responder_rid)
+        # Hosts (non-router addresses) always answer; routers may be
+        # configured to ignore ICMP.
+        is_router_address = (
+            self.dataplane.topo.router_by_address(destination) is not None
+        )
+        if is_router_address and not responder.responds_to_ping:
+            return PingResult(success=False, request=request)
+        if self._reply_lost():
+            return PingResult(success=False, request=request)
+        reply = self._send_reply(responder_rid, claimed)
+        success = self._reply_reaches(reply, claimed)
+        return PingResult(
+            success=success,
+            request=request,
+            reply=reply,
+            responder=responder.address if success else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Traceroute
+    # ------------------------------------------------------------------
+    def traceroute(
+        self,
+        source_rid: str,
+        destination: Union[str, Address],
+        receive_at: Optional[str] = None,
+        max_ttl: int = _TRACEROUTE_MAX_TTL,
+    ) -> TracerouteResult:
+        """Traceroute toward *destination*.
+
+        With *receive_at*, this is the paper's *spoofed traceroute*: the
+        TTL-exceeded replies travel to a different vantage point, letting a
+        source with a broken reverse path still see its forward path.
+        """
+        destination = Address(destination)
+        claimed = self._address_of(receive_at or source_rid)
+        result = TracerouteResult(source=source_rid, destination=destination)
+        silent_run = 0
+        for ttl in range(1, max_ttl + 1):
+            self.probes_sent += 1
+            walk = self.dataplane.forward(source_rid, destination, ttl=ttl)
+            hop = self._hop_response(walk, destination, claimed)
+            result.hops.append(hop)
+            if walk.delivered and hop is not None:
+                result.reached = True
+                break
+            if walk.outcome in (
+                ForwardOutcome.NO_ROUTE,
+                ForwardOutcome.DROPPED,
+                ForwardOutcome.NO_LINK,
+                ForwardOutcome.LOOP,
+                ForwardOutcome.DELIVERED,
+            ):
+                # The probe's fate no longer depends on TTL: the walk ends
+                # at the same place every time, so further TTLs only map
+                # hops we've already seen.  Real traceroute keeps probing
+                # blindly; we keep probing until the gap limit to mimic
+                # the operator-visible behaviour, but cheaply.
+                silent_run += 1
+                if hop is not None:
+                    silent_run = 0
+                if silent_run >= _TRACEROUTE_GAP_LIMIT or walk.delivered:
+                    break
+            else:
+                silent_run = silent_run + 1 if hop is None else 0
+                if silent_run >= _TRACEROUTE_GAP_LIMIT:
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # Record-route ping
+    # ------------------------------------------------------------------
+    def rr_ping(
+        self,
+        source_rid: str,
+        destination: Union[str, Address],
+        receive_at: Optional[str] = None,
+        claimed_address: Optional[Address] = None,
+    ) -> "RecordRouteResult":
+        """Ping with the IP record-route option (9 address slots).
+
+        Routers stamp the option on the way *to* the destination and —
+        if slots remain — the reply's first hops get stamped too, which
+        is what lets reverse traceroute observe a few hops of the path
+        back toward the (possibly spoofed) source.  ``recorded_reply``
+        separates the reply-side stamps for the caller.
+        """
+        self.probes_sent += 1
+        destination = Address(destination)
+        if claimed_address is not None:
+            claimed = Address(claimed_address)
+        else:
+            claimed = self._address_of(receive_at or source_rid)
+        request = self.dataplane.forward(source_rid, destination)
+        result = RecordRouteResult(success=False)
+        if not request.delivered:
+            return result
+        responder_rid = request.final_router
+        responder = self.dataplane.topo.router(responder_rid)
+        is_router_address = (
+            self.dataplane.topo.router_by_address(destination) is not None
+        )
+        if is_router_address and not responder.responds_to_ping:
+            return result
+        if self._reply_lost():
+            return result
+        reply = self._send_reply(responder_rid, claimed)
+        if not self._reply_reaches(reply, claimed):
+            return result
+        # Stamp the option: forward hops (after the emitting router),
+        # then reply hops (after the responder) until slots run out.
+        topo = self.dataplane.topo
+        stamps: List[Address] = [
+            topo.router(rid).address for rid in request.hops[1:]
+        ][:RECORD_ROUTE_SLOTS]
+        remaining = RECORD_ROUTE_SLOTS - len(stamps)
+        reply_stamps = [
+            topo.router(rid).address for rid in reply.hops[1:]
+        ][:remaining]
+        result.success = True
+        result.recorded = stamps + reply_stamps
+        result.received_by = self.dataplane.host_router(claimed)
+        result.recorded_reply = reply_stamps
+        return result
+
+    def _hop_response(
+        self,
+        walk: ForwardResult,
+        destination: Address,
+        claimed: Address,
+    ) -> Optional[Address]:
+        """Would the terminal router of *walk* answer, and get through?"""
+        if walk.final_router is None:
+            return None
+        responder = self.dataplane.topo.router(walk.final_router)
+        if walk.delivered:
+            is_router_address = (
+                self.dataplane.topo.router_by_address(destination)
+                is not None
+            )
+            if is_router_address and not responder.responds_to_ping:
+                return None
+        elif walk.outcome is ForwardOutcome.TTL_EXPIRED:
+            if not responder.responds_to_ping:
+                return None
+        else:
+            # Silent drops and missing routes generate nothing.
+            return None
+        if self._reply_lost():
+            return None
+        reply = self._send_reply(walk.final_router, claimed)
+        if not self._reply_reaches(reply, claimed):
+            return None
+        return responder.address

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the LIFEGUARD reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause while still letting
+programming errors (TypeError, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string/value was malformed."""
+
+
+class TopologyError(ReproError):
+    """The AS or router topology was inconsistent or a lookup failed."""
+
+
+class PolicyError(ReproError):
+    """A routing-policy operation was invalid (e.g. unknown relationship)."""
+
+
+class BGPError(ReproError):
+    """A BGP message or speaker operation was invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven incorrectly."""
+
+
+class MeasurementError(ReproError):
+    """A probe or monitoring operation could not be carried out."""
+
+
+class IsolationError(ReproError):
+    """Failure isolation could not run (e.g. no atlas for the path)."""
+
+
+class ControlError(ReproError):
+    """The remediation controller was asked to do something invalid."""

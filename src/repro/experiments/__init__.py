@@ -1,0 +1,41 @@
+"""Evaluation-experiment drivers (one per study in §2 and §5).
+
+Benchmarks under ``benchmarks/`` are thin wrappers over these functions so
+the studies can also be run programmatically (see ``repro.cli``).
+"""
+
+from repro.experiments.convergence import (
+    ConvergenceStudy,
+    PoisonTrial,
+    run_poisoning_convergence_study,
+)
+from repro.experiments.efficacy import (
+    EfficacyStudy,
+    run_topology_efficacy_study,
+)
+from repro.experiments.diversity import (
+    DiversityStudy,
+    run_provider_diversity_study,
+)
+from repro.experiments.accuracy import (
+    AccuracyStudy,
+    run_isolation_accuracy_study,
+)
+from repro.experiments.alternate_paths import (
+    AlternatePathStudy,
+    run_alternate_path_study,
+)
+
+__all__ = [
+    "ConvergenceStudy",
+    "PoisonTrial",
+    "run_poisoning_convergence_study",
+    "EfficacyStudy",
+    "run_topology_efficacy_study",
+    "DiversityStudy",
+    "run_provider_diversity_study",
+    "AccuracyStudy",
+    "run_isolation_accuracy_study",
+    "AlternatePathStudy",
+    "run_alternate_path_study",
+]

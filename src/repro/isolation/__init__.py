@@ -1,0 +1,27 @@
+"""LIFEGUARD failure isolation (§4.1).
+
+Given a vantage point that has lost connectivity to a destination, the
+isolation pipeline determines the failing *direction* using spoofed pings,
+measures the path in the working direction, pings the hops on historical
+atlas paths in the failing direction, and blames the AS at the edge of the
+*reachability horizon* — the boundary between routers that can still reach
+the source and those that no longer can.
+"""
+
+from repro.isolation.direction import DirectionIsolator, FailureDirection
+from repro.isolation.horizon import (
+    HorizonResult,
+    HopStatus,
+    ReachabilityHorizon,
+)
+from repro.isolation.isolator import FailureIsolator, IsolationResult
+
+__all__ = [
+    "FailureDirection",
+    "DirectionIsolator",
+    "ReachabilityHorizon",
+    "HorizonResult",
+    "HopStatus",
+    "FailureIsolator",
+    "IsolationResult",
+]

@@ -1,0 +1,120 @@
+"""Failure-direction isolation with spoofed pings (§4.1.2, after Hubble).
+
+Forward test: the source pings the destination spoofing a helper's address;
+if any helper receives the echo reply, the forward path S->D works.
+Reverse test: a helper that can reach the destination pings it spoofing the
+*source's* address; if the source receives the reply, the reverse path
+D->S works.  Combining the two classifies the outage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from repro.dataplane.probes import Prober
+from repro.net.addr import Address
+
+
+class FailureDirection(enum.Enum):
+    """Which direction of the path is failing."""
+
+    FORWARD = "forward"
+    REVERSE = "reverse"
+    BIDIRECTIONAL = "bidirectional"
+    #: Nothing conclusive (e.g. no helper can reach the destination at
+    #: all — the outage may be total, or the destination is down).
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class DirectionEvidence:
+    """The raw observations behind a direction verdict."""
+
+    forward_works: bool
+    reverse_works: bool
+    helpers_reaching_destination: List[str]
+    probes_used: int
+
+
+class DirectionIsolator:
+    """Runs the spoofed-ping direction tests."""
+
+    def __init__(self, prober: Prober, max_helpers: int = 5) -> None:
+        self.prober = prober
+        self.max_helpers = max_helpers
+
+    def classify(
+        self,
+        source_rid: str,
+        destination: Union[str, Address],
+        helper_rids: Iterable[str],
+    ) -> "tuple[FailureDirection, DirectionEvidence]":
+        """Classify the failing direction of the source->destination path."""
+        destination = Address(destination)
+        helpers = list(helper_rids)[: self.max_helpers]
+        before = self.prober.probes_sent
+
+        forward_works = self._forward_test(source_rid, destination, helpers)
+        reverse_works, reachers = self._reverse_test(
+            source_rid, destination, helpers
+        )
+        evidence = DirectionEvidence(
+            forward_works=forward_works,
+            reverse_works=reverse_works,
+            helpers_reaching_destination=reachers,
+            probes_used=self.prober.probes_sent - before,
+        )
+        if forward_works and reverse_works:
+            # Both directions pass the spoofed tests; the plain ping
+            # failure was transient or rate-limited.
+            return FailureDirection.UNKNOWN, evidence
+        if forward_works:
+            return FailureDirection.REVERSE, evidence
+        if reverse_works:
+            return FailureDirection.FORWARD, evidence
+        if reachers:
+            return FailureDirection.BIDIRECTIONAL, evidence
+        return FailureDirection.UNKNOWN, evidence
+
+    def _forward_test(
+        self,
+        source_rid: str,
+        destination: Address,
+        helpers: List[str],
+    ) -> bool:
+        """Does any spoofed probe from the source reach a helper?"""
+        for helper in helpers:
+            result = self.prober.ping(
+                source_rid, destination, receive_at=helper
+            )
+            if result.success:
+                return True
+        return False
+
+    def _reverse_test(
+        self,
+        source_rid: str,
+        destination: Address,
+        helpers: List[str],
+    ) -> "tuple[bool, List[str]]":
+        """Can the destination's replies reach the source?
+
+        Helpers ping the destination spoofed as the source.  Also records
+        which helpers can reach the destination at all (via their own
+        un-spoofed pings), which distinguishes a bidirectional path failure
+        from a dead destination.
+        """
+        reachers: List[str] = []
+        reverse_works = False
+        for helper in helpers:
+            own = self.prober.ping(helper, destination)
+            if own.success:
+                reachers.append(helper)
+                spoofed = self.prober.ping(
+                    helper, destination, receive_at=source_rid
+                )
+                if spoofed.success:
+                    reverse_works = True
+        return reverse_works, reachers

@@ -1,0 +1,377 @@
+"""The LIFEGUARD failure-isolation pipeline (§4.1.2).
+
+Order of operations, mirroring the paper:
+
+1. confirm the failure and isolate its *direction* with spoofed pings;
+2. measure the path in the *working* direction (spoofed traceroute for
+   reverse failures, spoofed reverse traceroute for forward failures);
+3. test historical atlas paths in the failing direction by pinging their
+   hops from the source and from helper vantage points;
+4. prune: locate the reachability horizon and blame the first hop beyond
+   it; for forward failures, blame the boundary at the last responsive
+   traceroute hop; fall back to older historical paths when the newest
+   yields no informative suspect.
+
+A simple serialized cost model converts measurement rounds into elapsed
+seconds so the §5.4 timing results can be reproduced: each phase costs a
+fixed latency that amortizes the round-trips and rate-limit pacing the
+real deployment pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.dataplane.probes import Prober, TracerouteResult
+from repro.dataplane.reverse_traceroute import ReverseTracerouteTool
+from repro.errors import IsolationError
+from repro.isolation.direction import DirectionIsolator, FailureDirection
+from repro.isolation.horizon import (
+    HopStatus,
+    HorizonResult,
+    ReachabilityHorizon,
+)
+from repro.measure.atlas import PathAtlas
+from repro.measure.responsiveness import ResponsivenessDB
+from repro.measure.vantage import VantagePoint, VantageSet
+from repro.net.addr import Address
+
+#: Phase latencies (seconds) of the serialized measurement schedule.
+COST_DIRECTION = 20.0
+COST_WORKING_DIRECTION = 30.0
+COST_ATLAS_TESTS = 45.0
+COST_REVERSE_MEASUREMENTS = 30.0
+COST_PRUNING = 15.0
+#: How many historical reverse paths to expand into when the most recent
+#: one yields no informative suspect.
+HISTORICAL_PATH_DEPTH = 3
+
+
+@dataclass
+class IsolationResult:
+    """LIFEGUARD's verdict for one outage."""
+
+    vp_name: str
+    destination: Address
+    direction: FailureDirection
+    #: the AS LIFEGUARD blames (None if isolation failed).
+    blamed_asn: Optional[int] = None
+    #: inter-AS link (near-AS, far-AS) when the horizon sits on a boundary.
+    blamed_link: Optional[Tuple[int, int]] = None
+    #: what an operator using traceroute alone would have blamed.
+    traceroute_verdict: Optional[int] = None
+    #: the working-direction path, a candidate detour (§4.1.2).
+    working_path: Tuple[Address, ...] = ()
+    horizon: Optional[HorizonResult] = None
+    probes_used: int = 0
+    elapsed_seconds: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def isolated(self) -> bool:
+        return self.blamed_asn is not None
+
+    @property
+    def differs_from_traceroute(self) -> bool:
+        """Would traceroute alone have pointed somewhere else?"""
+        return (
+            self.blamed_asn is not None
+            and self.traceroute_verdict is not None
+            and self.blamed_asn != self.traceroute_verdict
+        ) or (self.blamed_asn is not None
+              and self.traceroute_verdict is None)
+
+
+class FailureIsolator:
+    """Runs the full isolation pipeline over the measurement substrate."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        vantage_points: VantageSet,
+        atlas: PathAtlas,
+        responsiveness: Optional[ResponsivenessDB] = None,
+        historical_depth: int = HISTORICAL_PATH_DEPTH,
+    ) -> None:
+        self.prober = prober
+        self.vantage_points = vantage_points
+        self.atlas = atlas
+        self.responsiveness = responsiveness or ResponsivenessDB()
+        self.historical_depth = historical_depth
+        self.direction_isolator = DirectionIsolator(prober)
+        self.horizon = ReachabilityHorizon(prober, self.responsiveness)
+        self.reverse_tool = ReverseTracerouteTool(prober)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _asn_of(self, address: Address) -> Optional[int]:
+        topo = self.prober.dataplane.topo
+        router = topo.router_by_address(address)
+        if router is not None:
+            return router.asn
+        return self.prober.dataplane.fibs.origin_for(address)
+
+    def _helpers_for(self, vp: VantagePoint) -> List[str]:
+        return [other.rid for other in self.vantage_points.others(vp.name)]
+
+    def _traceroute_blame(
+        self, trace: TracerouteResult
+    ) -> Optional[int]:
+        """The naive verdict: the AS of the last responding hop."""
+        last = trace.last_responsive()
+        if last is None:
+            return None
+        return self._asn_of(last)
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def isolate(
+        self,
+        vp_name: str,
+        destination: Union[str, Address],
+        now: float,
+    ) -> IsolationResult:
+        """Isolate the failure on the (vp, destination) path."""
+        destination = Address(destination)
+        vp = self.vantage_points.get(vp_name)
+        helpers = self._helpers_for(vp)
+        probes_before = self.prober.probes_sent
+
+        # The failing traceroute an operator would look at first; also the
+        # baseline we compare LIFEGUARD against in §5.3.
+        failing_trace = self.prober.traceroute(vp.rid, destination)
+        traceroute_verdict = self._traceroute_blame(failing_trace)
+
+        direction, _evidence = self.direction_isolator.classify(
+            vp.rid, destination, helpers
+        )
+        result = IsolationResult(
+            vp_name=vp_name,
+            destination=destination,
+            direction=direction,
+            traceroute_verdict=traceroute_verdict,
+        )
+        result.elapsed_seconds += COST_DIRECTION
+
+        if direction is FailureDirection.REVERSE:
+            self._isolate_reverse(vp, destination, helpers, now, result,
+                                  failing_trace)
+        elif direction in (
+            FailureDirection.FORWARD,
+            FailureDirection.BIDIRECTIONAL,
+        ):
+            self._isolate_forward(vp, destination, helpers, now, result,
+                                  failing_trace)
+        else:
+            result.notes.append(
+                "direction unknown: destination unreachable from all "
+                "vantage points or failure resolved during isolation"
+            )
+        result.probes_used = self.prober.probes_sent - probes_before
+        return result
+
+    # ------------------------------------------------------------------
+    # Reverse-path failures
+    # ------------------------------------------------------------------
+    def _isolate_reverse(
+        self,
+        vp: VantagePoint,
+        destination: Address,
+        helpers: List[str],
+        now: float,
+        result: IsolationResult,
+        failing_trace: TracerouteResult,
+    ) -> None:
+        # Measure the working forward direction with a spoofed traceroute.
+        for helper in helpers:
+            spoofed = self.prober.traceroute(
+                vp.rid, destination, receive_at=helper
+            )
+            if spoofed.reached:
+                result.working_path = tuple(spoofed.responding_hops())
+                break
+        result.elapsed_seconds += COST_WORKING_DIRECTION
+
+        # Test historical reverse paths, newest first.
+        source_as = self.prober.dataplane.topo.router(vp.rid).asn
+        history = self.atlas.reverse_history(
+            vp.name, destination, before=now, limit=self.historical_depth
+        )
+        if not history:
+            result.notes.append("no historical reverse path in atlas")
+            result.elapsed_seconds += COST_ATLAS_TESTS
+            return
+        result.elapsed_seconds += COST_ATLAS_TESTS
+        for entry in history:
+            horizon = self.horizon.test_path(
+                vp.rid,
+                list(entry.hops),
+                helper_rids=helpers[:3],
+                skip_source_as=source_as,
+            )
+            result.horizon = horizon
+            if horizon.suspect is not None:
+                self._blame_from_horizon(result, horizon)
+                break
+            result.notes.append(
+                f"path at t={entry.time:.0f} gave no informative suspect; "
+                "expanding to older paths"
+            )
+        result.elapsed_seconds += COST_REVERSE_MEASUREMENTS + COST_PRUNING
+
+    def _blame_from_horizon(
+        self, result: IsolationResult, horizon: HorizonResult
+    ) -> None:
+        suspect = horizon.suspect
+        result.blamed_asn = suspect.asn
+        if (
+            horizon.last_reaching is not None
+            and horizon.last_reaching.asn is not None
+            and suspect.asn is not None
+            and horizon.last_reaching.asn != suspect.asn
+        ):
+            result.blamed_link = (suspect.asn, horizon.last_reaching.asn)
+        if suspect.status is HopStatus.ALIVE_ELSEWHERE:
+            result.notes.append(
+                f"AS{suspect.asn} answers other vantage points: its other "
+                "outgoing paths work, only the path to the source is gone"
+            )
+
+    # ------------------------------------------------------------------
+    # Forward-path (and bidirectional) failures
+    # ------------------------------------------------------------------
+    def _isolate_forward(
+        self,
+        vp: VantagePoint,
+        destination: Address,
+        helpers: List[str],
+        now: float,
+        result: IsolationResult,
+        failing_trace: TracerouteResult,
+    ) -> None:
+        # Measure the working reverse direction with a spoofed reverse
+        # traceroute (helper emits, source receives) - only possible for a
+        # pure forward failure.
+        if result.direction is FailureDirection.FORWARD:
+            for helper in helpers:
+                reverse = self.reverse_tool.measure_with_spoofed_source(
+                    helper, destination, vp.rid
+                )
+                if reverse is not None:
+                    result.working_path = tuple(reverse.hops)
+                    break
+        result.elapsed_seconds += COST_WORKING_DIRECTION
+
+        last = failing_trace.last_responsive()
+        if last is None:
+            # Total silence (e.g. a bidirectional blackhole close to the
+            # source eats even the TTL-exceeded replies).  Fall back to
+            # the atlas: ping the hops of historical forward paths and
+            # find the reachability horizon along them.
+            result.notes.append(
+                "failing traceroute got no responses; testing historical "
+                "forward paths instead"
+            )
+            self._forward_horizon_fallback(
+                vp, destination, helpers, now, result
+            )
+            result.elapsed_seconds += COST_ATLAS_TESTS + COST_PRUNING
+            return
+        last_asn = self._asn_of(last)
+        # The failure sits between the last responsive hop and the next
+        # hop the path historically took; the historical atlas tells us
+        # who that next hop was.
+        next_asn = self._next_hop_from_history(vp, destination, last, now)
+        if next_asn is not None and next_asn != last_asn:
+            result.blamed_link = (last_asn, next_asn)
+            # The boundary case is ambiguous: the last responsive hop may
+            # be forwarding into a dead AS, or may itself be silently
+            # dropping.  Corroborate with other vantage points: if some
+            # helper's working path to the destination crosses the far
+            # AS, that AS forwards fine and the near side is to blame.
+            if self._as_forwards_to(next_asn, destination, helpers):
+                result.blamed_asn = last_asn
+                result.notes.append(
+                    f"AS{next_asn} carries other vantage points' traffic "
+                    f"to the destination; blaming AS{last_asn}'s "
+                    "forwarding instead"
+                )
+            else:
+                result.blamed_asn = next_asn
+                result.notes.append(
+                    f"failing between AS{last_asn} (last responsive) and "
+                    f"AS{next_asn} (next on historical path)"
+                )
+        else:
+            result.blamed_asn = last_asn
+        result.elapsed_seconds += COST_ATLAS_TESTS + COST_PRUNING
+
+    def _as_forwards_to(
+        self,
+        asn: int,
+        destination: Address,
+        helper_rids: List[str],
+        max_helpers: int = 4,
+    ) -> bool:
+        """Does some helper's working path to *destination* cross *asn*?"""
+        for helper in helper_rids[:max_helpers]:
+            trace = self.prober.traceroute(helper, destination)
+            if not trace.reached:
+                continue
+            for hop in trace.responding_hops():
+                if self._asn_of(hop) == asn:
+                    return True
+        return False
+
+    def _forward_horizon_fallback(
+        self,
+        vp: VantagePoint,
+        destination: Address,
+        helpers: List[str],
+        now: float,
+        result: IsolationResult,
+    ) -> None:
+        """Blame via the horizon over historical *forward* paths.
+
+        Forward-path hops run source->destination; the horizon scanner
+        expects destination->source order, so the hop list is reversed.
+        The suspect it returns is then the first hop past the horizon in
+        the direction of travel.
+        """
+        source_as = self.prober.dataplane.topo.router(vp.rid).asn
+        for entry in self.atlas.forward_history(
+            vp.name, destination, before=now, limit=self.historical_depth
+        ):
+            horizon = self.horizon.test_path(
+                vp.rid,
+                list(reversed(entry.hops)),
+                helper_rids=helpers[:3],
+                skip_source_as=source_as,
+            )
+            result.horizon = horizon
+            if horizon.suspect is not None:
+                self._blame_from_horizon(result, horizon)
+                return
+        result.notes.append(
+            "no historical forward path produced an informative suspect"
+        )
+
+    def _next_hop_from_history(
+        self,
+        vp: VantagePoint,
+        destination: Address,
+        last_responsive: Address,
+        now: float,
+    ) -> Optional[int]:
+        """AS of the hop that historically followed *last_responsive*."""
+        for entry in self.atlas.forward_history(
+            vp.name, destination, before=now, limit=self.historical_depth
+        ):
+            hops = list(entry.hops)
+            for index, hop in enumerate(hops):
+                if hop == last_responsive and index + 1 < len(hops):
+                    return self._asn_of(hops[index + 1])
+        return None

@@ -1,0 +1,28 @@
+"""Measurement infrastructure: vantage points, monitoring, the path atlas.
+
+This layer mirrors LIFEGUARD's deployment: a set of distributed vantage
+points ping monitored destinations, a background atlas keeps fresh forward
+and reverse paths for every monitored pair, and a responsiveness database
+remembers which routers never answer ICMP so silence can be interpreted.
+"""
+
+from repro.measure.vantage import VantagePoint, VantageSet
+from repro.measure.responsiveness import ResponsivenessDB
+from repro.measure.atlas import AtlasEntry, PathAtlas, AtlasRefresher
+from repro.measure.monitor import (
+    MonitorEvent,
+    OutageRecord,
+    PingMonitor,
+)
+
+__all__ = [
+    "VantagePoint",
+    "VantageSet",
+    "ResponsivenessDB",
+    "PathAtlas",
+    "AtlasEntry",
+    "AtlasRefresher",
+    "PingMonitor",
+    "MonitorEvent",
+    "OutageRecord",
+]

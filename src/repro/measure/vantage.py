@@ -1,0 +1,71 @@
+"""Vantage points: the PlanetLab-host role in the deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import MeasurementError
+from repro.net.addr import Address
+from repro.topology.routers import RouterTopology
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement host attached to a router."""
+
+    name: str
+    rid: str
+
+    def address(self, topo: RouterTopology) -> Address:
+        return topo.router(self.rid).address
+
+
+class VantageSet:
+    """The deployment's set of vantage points."""
+
+    def __init__(self, topo: RouterTopology) -> None:
+        self.topo = topo
+        self._by_name: Dict[str, VantagePoint] = {}
+
+    def add(self, name: str, rid: str) -> VantagePoint:
+        """Register a vantage point at router *rid*."""
+        if name in self._by_name:
+            raise MeasurementError(f"vantage point {name!r} already exists")
+        self.topo.router(rid)  # validates the router exists
+        vp = VantagePoint(name=name, rid=rid)
+        self._by_name[name] = vp
+        return vp
+
+    def get(self, name: str) -> VantagePoint:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MeasurementError(f"unknown vantage point {name!r}")
+
+    def __iter__(self) -> Iterator[VantagePoint]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def others(self, name: str) -> List[VantagePoint]:
+        """All vantage points except *name* (the spoof-helper pool)."""
+        return [vp for vp in self._by_name.values() if vp.name != name]
+
+    def in_distinct_ases(self) -> List[VantagePoint]:
+        """One vantage point per AS (useful for diverse helper pools)."""
+        seen_as = set()
+        out = []
+        for vp in self._by_name.values():
+            asn = self.topo.router(vp.rid).asn
+            if asn not in seen_as:
+                seen_as.add(asn)
+                out.append(vp)
+        return out

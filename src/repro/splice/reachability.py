@@ -1,0 +1,132 @@
+"""Valley-free reachability over the AS graph.
+
+A valley-free path from a source S to an origin O climbs provider links,
+optionally crosses exactly one peer link, then descends customer links.
+Whether such a path exists (while avoiding a removed AS) is computed with
+three BFS passes in O(V+E) — fast enough to simulate poisoning millions of
+(path, transit-AS) cases as §5.1 does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.topology.as_graph import ASGraph
+from repro.topology.relationships import Relationship
+
+
+def _downhill_set(
+    graph: ASGraph, origin: int, avoid: Set[int]
+) -> Set[int]:
+    """ASes that reach *origin* descending only customer links.
+
+    These are origin's providers, their providers, etc. — every AS holding
+    a customer route to the origin.  (Traffic flows down; routes flow up.)
+    """
+    if origin in avoid:
+        return set()
+    seen = {origin}
+    queue = deque([origin])
+    while queue:
+        current = queue.popleft()
+        for upper in graph.providers(current):
+            if upper not in seen and upper not in avoid:
+                seen.add(upper)
+                queue.append(upper)
+    return seen
+
+
+def reachable_set_avoiding(
+    graph: ASGraph, origin: int, avoid: Iterable[int] = ()
+) -> Set[int]:
+    """All ASes with a valley-free route to *origin* avoiding *avoid*.
+
+    The route may not traverse any AS in *avoid* (the origin itself must
+    not be avoided, or the result is empty).
+    """
+    avoid_set = set(avoid)
+    if origin in avoid_set:
+        return set()
+    downhill = _downhill_set(graph, origin, avoid_set)
+    # One optional peer hop into the downhill set.
+    with_peer: Set[int] = set(downhill)
+    for member in downhill:
+        for peer in graph.peers(member):
+            if peer not in avoid_set:
+                with_peer.add(peer)
+    # Finally, any AS that can climb (via providers) into that set can
+    # reach the origin: traverse provider->customer edges downward.
+    reachable = set(with_peer)
+    queue = deque(with_peer)
+    while queue:
+        current = queue.popleft()
+        for customer in graph.customers(current):
+            if customer not in reachable and customer not in avoid_set:
+                reachable.add(customer)
+                queue.append(customer)
+    return reachable
+
+
+def valley_free_reachable(
+    graph: ASGraph, source: int, origin: int, avoid: Iterable[int] = ()
+) -> bool:
+    """True if *source* has a valley-free route to *origin* avoiding *avoid*."""
+    if source == origin:
+        return source not in set(avoid)
+    return source in reachable_set_avoiding(graph, origin, avoid)
+
+
+def valley_free_path(
+    graph: ASGraph, source: int, origin: int, avoid: Iterable[int] = ()
+) -> Optional[List[int]]:
+    """An explicit valley-free AS path from *source* to *origin*, if any.
+
+    BFS over (asn, phase) states where phase 0 = still climbing and phase 1
+    = past the peak; returns the hop list including both endpoints, or None.
+    Prefers fewer AS hops (BFS), matching how operators think about
+    alternates rather than exactly modelling BGP preference.
+    """
+    avoid_set = set(avoid)
+    if source in avoid_set or origin in avoid_set:
+        return None
+    if source == origin:
+        return [source]
+    start = (source, 0)
+    parents: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {start: None}
+    queue = deque([start])
+    goal: Optional[Tuple[int, int]] = None
+    while queue and goal is None:
+        state = queue.popleft()
+        asn, phase = state
+        for neighbor in graph.neighbors(asn):
+            if neighbor in avoid_set:
+                continue
+            rel = graph.relationship(asn, neighbor)
+            if rel is Relationship.PROVIDER or rel is Relationship.SIBLING:
+                next_phase = phase if rel is Relationship.SIBLING else 0
+                if phase != 0 and rel is Relationship.PROVIDER:
+                    continue
+                next_state = (neighbor, next_phase)
+            elif rel is Relationship.PEER:
+                if phase != 0:
+                    continue
+                next_state = (neighbor, 1)
+            else:  # CUSTOMER: descending is always allowed, locks phase 1
+                next_state = (neighbor, 1)
+            if next_state in parents:
+                continue
+            parents[next_state] = state
+            if neighbor == origin:
+                goal = next_state
+                break
+            queue.append(next_state)
+    if goal is None:
+        return None
+    path: List[int] = []
+    cursor: Optional[Tuple[int, int]] = goal
+    while cursor is not None:
+        path.append(cursor[0])
+        cursor = parents[cursor]
+    path.reverse()
+    return path

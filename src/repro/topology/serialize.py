@@ -1,0 +1,124 @@
+"""CAIDA-style AS-relationship serialization.
+
+The on-disk format follows the public CAIDA ``as-rel`` files so topologies
+can be exchanged with standard tooling::
+
+    # comment lines start with '#'
+    <asn-a>|<asn-b>|<code>          code: -1 = b is customer of a, 0 = peers
+    <asn>|tier:<n>|prefix:<p>       extension lines describing nodes
+
+CAIDA files carry only links; the node extension lines are ours (marked by
+the ``tier:`` field) and are optional — loading a bare CAIDA file yields a
+graph whose nodes all have the deterministic /16 from their ASN.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from repro.errors import TopologyError
+from repro.net.addr import Prefix
+from repro.topology.as_graph import ASGraph
+from repro.topology.generate import prefix_for_asn
+from repro.topology.relationships import Relationship
+
+_P2C = -1
+_P2P = 0
+
+
+def dump_as_graph(graph: ASGraph, stream: TextIO) -> None:
+    """Write *graph* to *stream* in extended CAIDA format."""
+    stream.write("# repro AS graph, CAIDA as-rel format with extensions\n")
+    for node in sorted(graph.nodes(), key=lambda n: n.asn):
+        prefixes = ",".join(str(p) for p in node.prefixes)
+        stream.write(f"{node.asn}|tier:{node.tier}|prefix:{prefixes}\n")
+    for a, b, rel in sorted(graph.links()):
+        if rel is Relationship.PEER:
+            stream.write(f"{a}|{b}|{_P2P}\n")
+        elif rel is Relationship.PROVIDER:
+            # b is a's provider => a is b's customer => provider|customer|-1
+            stream.write(f"{b}|{a}|{_P2C}\n")
+        elif rel is Relationship.CUSTOMER:
+            stream.write(f"{a}|{b}|{_P2C}\n")
+        else:
+            raise TopologyError(f"cannot serialize {rel} links")
+
+
+def dumps_as_graph(graph: ASGraph) -> str:
+    """Serialize *graph* to a string."""
+    buffer = io.StringIO()
+    dump_as_graph(graph, buffer)
+    return buffer.getvalue()
+
+
+def load_as_graph(stream: TextIO) -> ASGraph:
+    """Read a graph written by :func:`dump_as_graph` or a bare CAIDA file."""
+    graph = ASGraph()
+    pending_links = []
+    for line_no, raw in enumerate(stream, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) < 2:
+            raise TopologyError(f"line {line_no}: malformed: {line!r}")
+        if fields[1].startswith("tier:"):
+            _load_node_line(graph, fields, line_no)
+        else:
+            pending_links.append((fields, line_no))
+    for fields, line_no in pending_links:
+        _load_link_line(graph, fields, line_no)
+    graph.validate()
+    return graph
+
+
+def loads_as_graph(text: str) -> ASGraph:
+    """Parse a graph from a string."""
+    return load_as_graph(io.StringIO(text))
+
+
+def _load_node_line(graph: ASGraph, fields, line_no: int) -> None:
+    try:
+        asn = int(fields[0])
+        tier = int(fields[1].split(":", 1)[1])
+    except ValueError:
+        raise TopologyError(f"line {line_no}: bad node line {fields!r}")
+    prefixes = []
+    if len(fields) > 2 and fields[2].startswith("prefix:"):
+        spec = fields[2].split(":", 1)[1]
+        if spec:
+            prefixes = [Prefix(p) for p in spec.split(",")]
+    graph.add_as(asn, tier=tier, prefixes=prefixes)
+
+
+def _load_link_line(graph: ASGraph, fields, line_no: int) -> None:
+    try:
+        a, b, code = int(fields[0]), int(fields[1]), int(fields[2])
+    except (ValueError, IndexError):
+        raise TopologyError(f"line {line_no}: bad link line {fields!r}")
+    for asn in (a, b):
+        if asn not in graph:
+            # Bare CAIDA file: synthesize the node with a default prefix.
+            graph.add_as(asn, tier=3, prefixes=[prefix_for_asn(asn)])
+    if code == _P2P:
+        graph.add_link(a, b, Relationship.PEER)
+    elif code == _P2C:
+        # a|b|-1 means a is the provider of b.
+        graph.add_link(b, a, Relationship.PROVIDER)
+    else:
+        raise TopologyError(f"line {line_no}: unknown relationship {code}")
+
+
+def load_as_graph_path(path: Union[str, "io.PathLike[str]"]) -> ASGraph:
+    """Load a graph from a file path."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_as_graph(stream)
+
+
+def dump_as_graph_path(
+    graph: ASGraph, path: Union[str, "io.PathLike[str]"]
+) -> None:
+    """Write a graph to a file path."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_as_graph(graph, stream)

@@ -1,0 +1,32 @@
+"""Workload and scenario generators for the evaluation experiments.
+
+The paper's measurement studies ran against the live Internet; these
+modules generate the synthetic equivalents: outage traces calibrated to
+the published duration distributions (Fig. 1/Fig. 5), a Hubble-like
+poisonable-outage dataset for the Table 2 load model, and ready-made
+simulation scenarios (topology + BGP + data plane + LIFEGUARD deployment)
+shared by the tests, examples and benchmarks.
+"""
+
+from repro.workloads.outages import (
+    OutageTrace,
+    OutageTraceConfig,
+    generate_outage_trace,
+)
+from repro.workloads.hubble import HubbleDataset, generate_hubble_dataset
+from repro.workloads.scenarios import (
+    DeploymentScenario,
+    build_deployment,
+    build_internet,
+)
+
+__all__ = [
+    "OutageTrace",
+    "OutageTraceConfig",
+    "generate_outage_trace",
+    "HubbleDataset",
+    "generate_hubble_dataset",
+    "DeploymentScenario",
+    "build_internet",
+    "build_deployment",
+]

@@ -1,0 +1,157 @@
+"""Ready-made simulation scenarios shared by tests, examples and benches.
+
+A :class:`DeploymentScenario` is a fully wired world: a synthetic Internet,
+its router expansion, a converged BGP control plane, an origin AS with
+multiple providers (the BGP-Mux role), vantage points, monitored targets,
+and a :class:`~repro.control.lifeguard.Lifeguard` instance on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.engine import BGPEngine, EngineConfig
+from repro.control.lifeguard import Lifeguard, LifeguardConfig
+from repro.errors import ReproError
+from repro.measure.vantage import VantageSet
+from repro.net.addr import Address, Prefix
+from repro.topology.as_graph import ASGraph
+from repro.topology.generate import (
+    InternetShape,
+    generate_internet,
+    generate_multihomed_origin,
+)
+from repro.topology.routers import RouterTopology
+from repro.workloads.outages import generate_outage_trace
+
+#: Named topology scales.
+SCALES: Dict[str, InternetShape] = {
+    "tiny": InternetShape(num_tier1=3, num_tier2=8, num_stubs=20),
+    "small": InternetShape(num_tier1=4, num_tier2=16, num_stubs=60),
+    "medium": InternetShape(num_tier1=6, num_tier2=40, num_stubs=200),
+    "large": InternetShape(num_tier1=8, num_tier2=80, num_stubs=600),
+}
+
+
+def build_internet(
+    scale: str = "small", seed: int = 0
+) -> Tuple[ASGraph, InternetShape]:
+    """A synthetic Internet at one of the named scales."""
+    try:
+        shape = SCALES[scale]
+    except KeyError:
+        raise ReproError(
+            f"unknown scale {scale!r}; pick from {sorted(SCALES)}"
+        )
+    return generate_internet(shape, seed=seed), shape
+
+
+def _even_origin_asn(graph: ASGraph) -> int:
+    """An unused even ASN whose odd sibling is also unused.
+
+    The covering /15 sentinel needs the sibling /16 to be dark space.
+    """
+    candidate = max(graph.ases()) + 1
+    if candidate % 2:
+        candidate += 1
+    return candidate
+
+
+@dataclass
+class DeploymentScenario:
+    """A wired-up LIFEGUARD deployment over a synthetic Internet."""
+
+    graph: ASGraph
+    topo: RouterTopology
+    engine: BGPEngine
+    origin_asn: int
+    production_prefix: Prefix
+    lifeguard: Lifeguard
+    vantage_points: VantageSet
+    targets: List[Address]
+    #: ASNs hosting each vantage point, origin first.
+    vp_asns: List[int] = field(default_factory=list)
+
+
+def build_deployment(
+    scale: str = "small",
+    seed: int = 0,
+    num_providers: int = 2,
+    num_helper_vps: int = 5,
+    num_targets: int = 4,
+    engine_config: Optional[EngineConfig] = None,
+    lifeguard_config: Optional[LifeguardConfig] = None,
+) -> DeploymentScenario:
+    """Build the standard scenario.
+
+    The origin AS (LIFEGUARD's deployer) is attached to *num_providers*
+    tier-2 providers.  One vantage point sits at the origin; helper
+    vantage points sit at other stubs; monitored targets are routers in
+    transit ASes, echoing the EC2 study's choice of high-degree networks.
+    """
+    graph, _shape = build_internet(scale, seed)
+    origin_asn = generate_multihomed_origin(
+        graph, num_providers=num_providers, seed=seed,
+        asn=_even_origin_asn(graph),
+    )
+    topo = RouterTopology.build(graph, seed=seed)
+    engine = BGPEngine(graph, engine_config or EngineConfig(seed=seed))
+    for node in graph.nodes():
+        for prefix in node.prefixes:
+            if node.asn == origin_asn:
+                continue  # the Lifeguard controller announces its own
+            engine.originate(node.asn, prefix)
+    engine.run()
+
+    vps = VantageSet(topo)
+    vps.add("origin", topo.routers_of(origin_asn)[0])
+    stubs = [
+        n.asn
+        for n in graph.nodes()
+        if n.tier == 3 and n.asn != origin_asn
+    ]
+    vp_asns = [origin_asn]
+    for index, asn in enumerate(stubs[:num_helper_vps]):
+        vps.add(f"helper{index}", topo.routers_of(asn)[0])
+        vp_asns.append(asn)
+
+    # Targets: routers in well-connected transit ASes, one per AS,
+    # skipping the origin's own providers (their failure would be a
+    # single-provider situation handled separately).
+    providers = set(graph.providers(origin_asn))
+    transit = sorted(
+        (asn for asn in graph.transit_ases() if asn not in providers),
+        key=lambda a: -graph.degree(a),
+    )
+    targets = []
+    for asn in transit:
+        rid = topo.routers_of(asn)[0]
+        if topo.router(rid).responds_to_ping:
+            targets.append(topo.router(rid).address)
+        if len(targets) >= num_targets:
+            break
+
+    history = generate_outage_trace(seed=seed).durations
+    lifeguard = Lifeguard(
+        engine=engine,
+        topo=topo,
+        origin_asn=origin_asn,
+        vantage_points=vps,
+        targets=targets,
+        duration_history=history,
+        config=lifeguard_config,
+    )
+    lifeguard.announce()
+    production = lifeguard.production_prefix
+    return DeploymentScenario(
+        graph=graph,
+        topo=topo,
+        engine=engine,
+        origin_asn=origin_asn,
+        production_prefix=production,
+        lifeguard=lifeguard,
+        vantage_points=vps,
+        targets=targets,
+        vp_asns=vp_asns,
+    )

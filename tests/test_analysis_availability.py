@@ -1,0 +1,49 @@
+"""Unit tests for the §4.2 avoidable-unavailability analysis."""
+
+import pytest
+
+from repro.analysis.availability import (
+    avoidable_unavailability,
+    latency_sweep,
+)
+from repro.errors import ReproError
+
+
+class TestAvoidableUnavailability:
+    def test_zero_latency_avoids_everything(self):
+        result = avoidable_unavailability([100.0, 200.0], 0.0)
+        assert result.avoided_fraction == 1.0
+        assert result.outages_repaired == 2
+
+    def test_latency_longer_than_outages_avoids_nothing(self):
+        result = avoidable_unavailability([100.0, 200.0], 500.0)
+        assert result.avoided_fraction == 0.0
+        assert result.outages_repaired == 0
+
+    def test_partial_avoidance(self):
+        # One 10-min outage, repair after 7 min: 3 of 10 minutes saved.
+        result = avoidable_unavailability([600.0], 420.0)
+        assert result.avoided_unavailability == pytest.approx(180.0)
+        assert result.avoided_fraction == pytest.approx(0.3)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ReproError):
+            avoidable_unavailability([], 60.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ReproError):
+            avoidable_unavailability([100.0], -1.0)
+
+    def test_sweep_monotone_decreasing(self):
+        durations = [90.0, 600.0, 7200.0, 86400.0]
+        sweep = latency_sweep(durations, latencies=(0.0, 60.0, 3600.0))
+        fractions = [p.avoided_fraction for p in sweep]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_heavy_tail_dominates(self):
+        """Many short outages + one long one: a slow repair still saves
+        most downtime, the paper's core argument."""
+        durations = [90.0] * 100 + [36000.0]
+        result = avoidable_unavailability(durations, 420.0)
+        assert result.outages_repaired == 1
+        assert result.avoided_fraction > 0.75

@@ -1,0 +1,95 @@
+"""Tests for route-flap damping (RFC 2439) in the BGP speaker/engine.
+
+The paper kept each experimental announcement up for 90 minutes precisely
+to stay clear of damping; these tests show what would happen otherwise.
+"""
+
+import pytest
+
+from repro.bgp.engine import BGPEngine
+from repro.bgp.messages import make_path
+from repro.bgp.policy import SpeakerConfig
+from repro.net.addr import Prefix
+from repro.topology.as_graph import ASGraph
+from repro.topology.relationships import Relationship
+
+P = Prefix("10.80.0.0/16")
+
+
+def line_graph():
+    g = ASGraph()
+    for asn in (1, 2, 3):
+        g.add_as(asn)
+    g.assign_prefix(1, P)
+    g.add_link(1, 2, Relationship.PROVIDER)
+    g.add_link(2, 3, Relationship.PROVIDER)
+    return g
+
+
+def flap(engine, times, gap=30.0):
+    """Announce/withdraw the prefix repeatedly from the origin."""
+    for _ in range(times):
+        engine.originate(1, P, path=make_path(1))
+        engine.run()
+        engine.advance_to(engine.now + gap)
+        engine.withdraw_origin(1, P)
+        engine.run()
+        engine.advance_to(engine.now + gap)
+
+
+class TestDamping:
+    def test_no_damping_by_default(self):
+        engine = BGPEngine(line_graph())
+        flap(engine, times=3)
+        engine.originate(1, P, path=make_path(1))
+        engine.run()
+        assert engine.as_path(3, P) is not None
+
+    def test_rapid_flaps_suppress_route(self):
+        engine = BGPEngine(
+            line_graph(),
+            speaker_configs={2: SpeakerConfig(flap_damping=True)},
+        )
+        flap(engine, times=3)
+        engine.originate(1, P, path=make_path(1))
+        engine.run(until=engine.now + 60.0)
+        # AS2 has damped the route from its flappy customer: neither it
+        # nor anything behind it selects the route.
+        speaker = engine.speakers[2]
+        assert speaker.is_suppressed(P, 1)
+        assert engine.best_route(2, P) is None
+        assert engine.as_path(3, P) is None
+
+    def test_suppressed_route_reused_after_decay(self):
+        engine = BGPEngine(
+            line_graph(),
+            speaker_configs={2: SpeakerConfig(flap_damping=True)},
+        )
+        flap(engine, times=3)
+        engine.originate(1, P, path=make_path(1))
+        # Let the reuse timer fire (penalty half-life is 15 min).
+        engine.run()
+        assert not engine.speakers[2].is_suppressed(P, 1)
+        assert engine.as_path(3, P) is not None
+
+    def test_single_announcement_not_suppressed(self):
+        engine = BGPEngine(
+            line_graph(),
+            speaker_configs={2: SpeakerConfig(flap_damping=True)},
+        )
+        engine.originate(1, P, path=make_path(1))
+        engine.run()
+        assert not engine.speakers[2].is_suppressed(P, 1)
+        assert engine.as_path(3, P) is not None
+
+    def test_spaced_announcements_stay_clear(self):
+        """The paper's 90-minute spacing keeps penalties decayed."""
+        engine = BGPEngine(
+            line_graph(),
+            speaker_configs={2: SpeakerConfig(flap_damping=True)},
+        )
+        flap(engine, times=3, gap=5400.0)  # 90 minutes apart
+        engine.originate(1, P, path=make_path(1))
+        engine.run()
+        assert not engine.speakers[2].is_suppressed(P, 1)
+        assert engine.as_path(3, P) is not None

@@ -1,0 +1,111 @@
+"""Engine edge cases: clock control, MRAI batching, error handling."""
+
+import pytest
+
+from repro.bgp.engine import BGPEngine, EngineConfig
+from repro.bgp.messages import make_path
+from repro.errors import SimulationError
+from repro.net.addr import Prefix
+from repro.topology.as_graph import ASGraph
+from repro.topology.relationships import Relationship
+
+P = Prefix("10.90.0.0/16")
+
+
+def chain(n=4):
+    g = ASGraph()
+    for asn in range(1, n + 1):
+        g.add_as(asn)
+    g.assign_prefix(1, P)
+    for asn in range(1, n):
+        g.add_link(asn, asn + 1, Relationship.PROVIDER)
+    return g
+
+
+class TestClock:
+    def test_advance_to_moves_clock(self):
+        engine = BGPEngine(chain())
+        engine.originate(1, P)
+        engine.run()
+        t = engine.now
+        engine.advance_to(t + 100.0)
+        assert engine.now == t + 100.0
+
+    def test_advance_backwards_rejected(self):
+        engine = BGPEngine(chain())
+        engine.originate(1, P)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.advance_to(engine.now - 1.0)
+
+    def test_advance_with_pending_events_rejected(self):
+        engine = BGPEngine(chain())
+        engine.originate(1, P)  # events queued, not yet run
+        with pytest.raises(SimulationError):
+            engine.advance_to(engine.now + 100.0)
+
+    def test_run_until_leaves_pending_events(self):
+        engine = BGPEngine(chain(6))
+        engine.originate(1, P)
+        engine.run(until=engine.now + 0.001)
+        # The far end cannot have converged in a millisecond.
+        assert engine.as_path(6, P) is None
+        engine.run()
+        assert engine.as_path(6, P) is not None
+
+
+class TestMRAI:
+    def test_rapid_changes_batched_by_mrai(self):
+        """Two announcement changes in quick succession reach a neighbor
+        as at most two updates, the second delayed by the MRAI."""
+        engine = BGPEngine(chain(3), EngineConfig(mrai=30.0, seed=1))
+        engine.originate(1, P, path=make_path(1, prepend=3))
+        engine.run()
+        sent_before = engine.updates_sent.get((2, 3), 0)
+        t0 = engine.now
+        # Flip the announcement twice within one MRAI window.
+        engine.originate(1, P, path=make_path(1, prepend=3, poison=[99]))
+        engine.run(until=t0 + 1.0)
+        engine.originate(1, P, path=make_path(1, prepend=3))
+        settle = engine.run()
+        sent_after = engine.updates_sent.get((2, 3), 0)
+        assert sent_after - sent_before <= 2
+        # The batched second update had to wait out the MRAI.
+        assert settle - t0 >= 10.0
+
+    def test_withdrawals_not_rate_limited(self):
+        engine = BGPEngine(chain(3), EngineConfig(mrai=30.0, seed=1))
+        engine.originate(1, P)
+        engine.run()
+        t0 = engine.now
+        engine.withdraw_origin(1, P)
+        settle = engine.run()
+        # Withdrawals propagate immediately (no 30 s waits).
+        assert settle - t0 < 5.0
+        assert engine.as_path(3, P) is None
+
+
+class TestErrorPaths:
+    def test_unknown_scale_for_speaker_lookup(self):
+        engine = BGPEngine(chain())
+        with pytest.raises(KeyError):
+            engine.speakers[999]
+
+    def test_update_counters_monotonic(self):
+        engine = BGPEngine(chain())
+        engine.originate(1, P)
+        engine.run()
+        first = engine.total_updates_sent()
+        engine.originate(1, P, path=make_path(1, prepend=3))
+        engine.run()
+        assert engine.total_updates_sent() > first
+
+    def test_changes_since_filters_by_time(self):
+        engine = BGPEngine(chain())
+        engine.originate(1, P)
+        engine.run()
+        cutoff = engine.now
+        assert engine.changes_since(cutoff) == []
+        engine.originate(1, P, path=make_path(1, prepend=3))
+        engine.run()
+        assert engine.changes_since(cutoff)

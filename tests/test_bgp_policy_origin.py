@@ -1,0 +1,196 @@
+"""Unit tests for policy quirks, communities, and the origin controller."""
+
+import pytest
+
+from repro.bgp.engine import BGPEngine
+from repro.bgp.messages import Announcement, make_path
+from repro.bgp.origin import AnnouncementSpec, OriginController
+from repro.bgp.policy import NO_EXPORT_TO_PEERS, PolicyEngine, SpeakerConfig
+from repro.errors import BGPError, ControlError
+from repro.net.addr import Prefix
+from repro.topology.as_graph import ASGraph
+from repro.topology.relationships import Relationship
+
+P = Prefix("10.50.0.0/16")
+
+
+def star_graph():
+    """Origin 1 with providers 2 and 3; 4 provides both; 5 peers with 4."""
+    g = ASGraph()
+    for asn in (1, 2, 3, 4, 5):
+        g.add_as(asn)
+    g.assign_prefix(1, P)
+    g.add_link(1, 2, Relationship.PROVIDER)
+    g.add_link(1, 3, Relationship.PROVIDER)
+    g.add_link(2, 4, Relationship.PROVIDER)
+    g.add_link(3, 4, Relationship.PROVIDER)
+    g.add_link(4, 5, Relationship.PEER)
+    return g
+
+
+class TestPolicyEngine:
+    def test_loop_detection_default(self):
+        policy = PolicyEngine(asn=7)
+        looped = Announcement(prefix=P, as_path=(2, 7, 1))
+        assert not policy.accepts(looped, Relationship.CUSTOMER, set())
+
+    def test_loop_detection_disabled(self):
+        policy = PolicyEngine(
+            asn=7, config=SpeakerConfig(loop_max_occurrences=0)
+        )
+        looped = Announcement(prefix=P, as_path=(2, 7, 1))
+        assert policy.accepts(looped, Relationship.CUSTOMER, set())
+
+    def test_cogent_style_filter(self):
+        policy = PolicyEngine(
+            asn=7,
+            config=SpeakerConfig(reject_peer_paths_from_customers=True),
+        )
+        peers = {99}
+        via_peer = Announcement(prefix=P, as_path=(2, 99, 1))
+        clean = Announcement(prefix=P, as_path=(2, 3, 1))
+        assert not policy.accepts(via_peer, Relationship.CUSTOMER, peers)
+        assert policy.accepts(clean, Relationship.CUSTOMER, peers)
+        # The filter only applies to customer sessions.
+        assert policy.accepts(via_peer, Relationship.PROVIDER, peers)
+
+    def test_no_export_to_peers_community(self):
+        policy = PolicyEngine(
+            asn=7, config=SpeakerConfig(honours_communities=True)
+        )
+        tagged = frozenset({(7, NO_EXPORT_TO_PEERS)})
+        assert not policy.may_export_to(
+            Relationship.CUSTOMER, Relationship.PEER, tagged
+        )
+        assert policy.may_export_to(
+            Relationship.CUSTOMER, Relationship.CUSTOMER, tagged
+        )
+
+    def test_community_ignored_when_not_honoured(self):
+        policy = PolicyEngine(asn=7)
+        tagged = frozenset({(7, NO_EXPORT_TO_PEERS)})
+        assert policy.may_export_to(
+            Relationship.CUSTOMER, Relationship.PEER, tagged
+        )
+
+    def test_community_stripping(self):
+        policy = PolicyEngine(
+            asn=7, config=SpeakerConfig(propagates_communities=False)
+        )
+        communities = frozenset({(7, 1), (8, 2)})
+        assert policy.outbound_communities(communities) == frozenset(
+            {(7, 1)}
+        )
+
+    def test_local_pref_override(self):
+        policy = PolicyEngine(
+            asn=7,
+            config=SpeakerConfig(local_pref_overrides={9: 250}),
+        )
+        assert policy.local_pref(9, Relationship.PROVIDER) == 250
+        assert policy.local_pref(8, Relationship.PROVIDER) == 80
+
+
+class TestAnnouncementSpec:
+    def test_baseline_path(self):
+        spec = AnnouncementSpec(prefix=P, prepend=3)
+        assert spec.path_for(1, 2) == (1, 1, 1)
+
+    def test_poison_keeps_baseline_length(self):
+        spec = AnnouncementSpec(prefix=P, prepend=3, poisoned=(9,))
+        assert spec.path_for(1, 2) == (1, 9, 1)
+        assert len(spec.path_for(1, 2)) == 3
+
+    def test_large_poison_list_grows_path(self):
+        spec = AnnouncementSpec(
+            prefix=P, prepend=2, poisoned=(9, 8, 7)
+        )
+        path = spec.path_for(1, 2)
+        assert path[0] == 1 and path[-1] == 1
+        assert set((9, 8, 7)).issubset(path)
+
+    def test_selective_overrides_global(self):
+        spec = AnnouncementSpec(
+            prefix=P, prepend=3, poisoned=(), selective={2: (9,)}
+        )
+        assert 9 in spec.path_for(1, 2)
+        assert 9 not in spec.path_for(1, 3)
+
+    def test_suppressed_provider_gets_nothing(self):
+        spec = AnnouncementSpec(
+            prefix=P, prepend=3, suppressed_providers=(2,)
+        )
+        assert spec.path_for(1, 2) is None
+        assert spec.path_for(1, 3) is not None
+
+
+class TestOriginController:
+    @pytest.fixture()
+    def world(self):
+        graph = star_graph()
+        engine = BGPEngine(graph)
+        controller = OriginController(
+            engine, 1, P, sentinel_prefix=Prefix("10.50.0.0/15").supernet(15)
+        )
+        controller.announce_baseline()
+        engine.run()
+        return engine, controller
+
+    def test_baseline_reaches_everyone(self, world):
+        engine, controller = world
+        for asn in (2, 3, 4, 5):
+            assert engine.as_path(asn, P) is not None
+
+    def test_poison_and_unpoison(self, world):
+        engine, controller = world
+        controller.poison([4])
+        engine.run()
+        assert engine.as_path(4, P) is None
+        assert controller.is_poisoning()
+        assert controller.currently_poisoned == (4,)
+        controller.unpoison()
+        engine.run()
+        assert engine.as_path(4, P) is not None
+        assert not controller.is_poisoning()
+
+    def test_poison_origin_rejected(self, world):
+        _engine, controller = world
+        with pytest.raises(ControlError):
+            controller.poison([1])
+
+    def test_selective_poison_requires_real_provider(self, world):
+        _engine, controller = world
+        with pytest.raises(ControlError):
+            controller.poison_selectively(4, via_providers=[99])
+
+    def test_advertise_only_via(self, world):
+        engine, controller = world
+        controller.advertise_only_via([2])
+        engine.run()
+        best = engine.best_route(4, P)
+        assert best is not None
+        assert best.as_path[0] == 2 or 2 in best.as_path
+
+    def test_announcement_log_records_actions(self, world):
+        _engine, controller = world
+        controller.poison([4])
+        controller.unpoison()
+        actions = [entry[1] for entry in controller.log]
+        assert any("poison" in a for a in actions)
+        assert actions[-1] == "unpoison"
+
+    def test_sentinel_survives_poison(self, world):
+        engine, controller = world
+        controller.poison([4])
+        engine.run()
+        assert engine.as_path(4, controller.sentinel_prefix) is not None
+
+
+class TestMakePathValidation:
+    def test_zero_prepend_rejected(self):
+        with pytest.raises(BGPError):
+            make_path(1, prepend=0)
+
+    def test_self_poison_rejected(self):
+        with pytest.raises(BGPError):
+            make_path(1, poison=[1])

@@ -1,0 +1,51 @@
+"""Tests for the lifeguard-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("fig1", "fig5", "fig6", "efficacy", "accuracy",
+                        "table2", "demo"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "CDF" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out.lower()
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_fig6_tiny(self, capsys):
+        assert main(["fig6", "--scale", "tiny", "--max-poisons", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "prepend" in out
+
+    def test_accuracy_tiny(self, capsys):
+        assert main(["accuracy", "--scale", "tiny", "--cases", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out.lower()
+
+    def test_demo(self, capsys):
+        assert main(["--seed", "5", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "unpoisoned" in out

@@ -1,0 +1,125 @@
+"""Tests for the poison decision model and sentinel manager."""
+
+import pytest
+
+from repro.control.decision import ResidualDurationModel
+from repro.control.sentinel import (
+    SentinelManager,
+    SentinelStyle,
+    covering_sentinel,
+    unused_half,
+)
+from repro.dataplane.probes import Prober
+from repro.errors import ControlError
+from repro.net.addr import Prefix
+
+
+class TestResidualDurationModel:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ControlError):
+            ResidualDurationModel([])
+
+    def test_survival_probability(self):
+        model = ResidualDurationModel([100, 100, 100, 1000])
+        # Of outages lasting >200s (just the 1000s one), all last 300 more.
+        assert model.survival_probability(200, 300) == 1.0
+        # Of all outages, only 1/4 lasts at least 300.
+        assert model.survival_probability(0, 300) == 0.25
+
+    def test_no_survivors(self):
+        model = ResidualDurationModel([100.0])
+        assert model.survival_probability(200, 10) == 0.0
+        assert model.median_residual(200) is None
+        assert model.mean_residual(200) is None
+
+    def test_decide_waits_for_young_outages(self):
+        model = ResidualDurationModel([90.0] * 50 + [7200.0] * 50)
+        decision = model.decide(elapsed=120.0)
+        assert not decision.poison
+        assert "likely to resolve" in decision.rationale
+
+    def test_decide_poisons_persistent_outages(self):
+        model = ResidualDurationModel([90.0] * 50 + [7200.0] * 50)
+        decision = model.decide(elapsed=400.0)
+        assert decision.poison
+        assert decision.expected_residual > 120.0
+
+    def test_decide_declines_when_residual_small(self):
+        # Everything dies at exactly 420s: at 400s the residual is 20s.
+        model = ResidualDurationModel([420.0] * 100)
+        decision = model.decide(elapsed=400.0)
+        assert not decision.poison
+
+    def test_residual_percentiles_ordered(self):
+        model = ResidualDurationModel(
+            [100, 200, 400, 800, 1600, 3200]
+        )
+        p25 = model.residual_percentile(50, 0.25)
+        p50 = model.residual_percentile(50, 0.50)
+        assert p25 <= p50
+
+
+class TestSentinelHelpers:
+    def test_covering_sentinel(self):
+        assert covering_sentinel(Prefix("10.2.0.0/16")) == Prefix(
+            "10.2.0.0/15"
+        )
+
+    def test_covering_sentinel_of_slash0_rejected(self):
+        with pytest.raises(ControlError):
+            covering_sentinel(Prefix("0.0.0.0/0"))
+
+    def test_unused_half(self):
+        production = Prefix("10.2.0.0/16")
+        sentinel = Prefix("10.2.0.0/15")
+        half = unused_half(production, sentinel)
+        assert half == Prefix("10.3.0.0/16")
+
+    def test_unused_half_requires_cover(self):
+        with pytest.raises(ControlError):
+            unused_half(Prefix("10.2.0.0/16"), Prefix("10.4.0.0/15"))
+
+
+class TestSentinelManager:
+    @pytest.fixture()
+    def prober(self, dataplane):
+        return Prober(dataplane)
+
+    def _origin_router(self, small_internet):
+        graph, topo, _engine = small_internet
+        stub = graph.stubs()[0]
+        return topo.routers_of(stub)[0], stub
+
+    def test_less_specific_properties(self, small_internet, prober):
+        rid, asn = self._origin_router(small_internet)
+        production = small_internet[0].node(asn).prefixes[0]
+        manager = SentinelManager(prober, rid, production)
+        assert manager.can_detect_repair
+        assert manager.provides_backup_route
+        assert production.is_more_specific_of(manager.sentinel)
+
+    def test_disjoint_requires_prefix(self, small_internet, prober):
+        rid, asn = self._origin_router(small_internet)
+        production = small_internet[0].node(asn).prefixes[0]
+        with pytest.raises(ControlError):
+            SentinelManager(
+                prober, rid, production, style=SentinelStyle.DISJOINT
+            )
+        manager = SentinelManager(
+            prober, rid, production,
+            style=SentinelStyle.DISJOINT,
+            disjoint_prefix=Prefix("198.51.0.0/16"),
+        )
+        assert manager.can_detect_repair
+        assert not manager.provides_backup_route
+
+    def test_none_style_cannot_detect(self, small_internet, prober):
+        rid, asn = self._origin_router(small_internet)
+        production = small_internet[0].node(asn).prefixes[0]
+        manager = SentinelManager(
+            prober, rid, production, style=SentinelStyle.NONE
+        )
+        assert not manager.can_detect_repair
+        check = manager.check_repair(["10.0.0.1"])
+        assert not check.repaired
+        assert check.probes_used == 0

@@ -1,0 +1,92 @@
+"""Tests for DNS-redirection repair detection (§7.2)."""
+
+import pytest
+
+from repro.bgp.messages import make_path
+from repro.control.dns_probe import DnsRepairDetector
+from repro.dataplane.failures import ASForwardingFailure
+from repro.dataplane.fib import build_fibs
+from repro.dataplane.probes import Prober
+from repro.errors import ControlError
+from repro.net.addr import Prefix
+from repro.workloads.scenarios import build_deployment
+
+
+@pytest.fixture(scope="module")
+def world():
+    """An origin announcing two production prefixes P1 and P2."""
+    scenario = build_deployment(scale="tiny", seed=27, num_providers=2)
+    engine = scenario.engine
+    origin = scenario.origin_asn
+    p1 = scenario.production_prefix
+    # Second prefix from the sentinel's unused half: clean baseline.
+    sentinel = scenario.lifeguard.sentinel_manager.sentinel
+    p2 = next(h for h in sentinel.subnets(p1.length) if h != p1)
+    scenario.graph.assign_prefix(origin, p2)
+    engine.originate(origin, p2, path=make_path(origin, prepend=3))
+    engine.run()
+    scenario.lifeguard.refresh_dataplane()
+    return scenario, p1, p2
+
+
+def _client_and_faulty_as(scenario, p1):
+    topo = scenario.topo
+    lifeguard = scenario.lifeguard
+    client_asn = next(
+        a
+        for a in scenario.graph.stubs()
+        if a != scenario.origin_asn
+        and scenario.engine.as_path(a, p1) is not None
+    )
+    client_rid = topo.routers_of(client_asn)[0]
+    walk = lifeguard.dataplane.forward(client_rid, p1.address(1))
+    transits = [
+        a
+        for a in walk.as_level_hops(topo)[1:-1]
+        if a != scenario.origin_asn
+    ]
+    return client_rid, transits[0]
+
+
+class TestPremise:
+    def test_probe_prefix_must_differ(self, world):
+        scenario, p1, _p2 = world
+        prober = Prober(scenario.lifeguard.dataplane)
+        with pytest.raises(ControlError):
+            DnsRepairDetector(prober, p1, p1)
+        with pytest.raises(ControlError):
+            DnsRepairDetector(prober, p1, p1.supernet(p1.length - 1))
+
+    def test_routes_consistent_absent_poison(self, world):
+        scenario, p1, p2 = world
+        prober = Prober(scenario.lifeguard.dataplane)
+        detector = DnsRepairDetector(prober, p1, p2)
+        client_rid, _bad = _client_and_faulty_as(scenario, p1)
+        assert detector.routes_consistent(client_rid)
+
+
+class TestRepairDetection:
+    def test_detects_repair_when_failure_clears(self, world):
+        scenario, p1, p2 = world
+        lifeguard = scenario.lifeguard
+        client_rid, bad_asn = _client_and_faulty_as(scenario, p1)
+        prober = Prober(lifeguard.dataplane)
+        detector = DnsRepairDetector(prober, p1, p2)
+
+        sentinel = lifeguard.sentinel_manager.sentinel
+        failure = ASForwardingFailure(
+            asn=bad_asn, toward=sentinel, start=0.0, end=1000.0
+        )
+        lifeguard.dataplane.failures.add(failure)
+        try:
+            # While the failure holds, P2 fetches fail (P2 still routes
+            # through the faulty AS).
+            check = detector.check_repair([client_rid], now=500.0)
+            assert not check.repaired
+            # After the failure clears, the fetch lands in the logs.
+            check = detector.check_repair([client_rid], now=1500.0)
+            assert check.repaired
+            assert check.clients_reaching_p2
+            assert check.probes_used >= 1
+        finally:
+            lifeguard.dataplane.failures.remove(failure)

@@ -1,0 +1,124 @@
+"""End-to-end tests: the full LIFEGUARD loop repairing an injected outage."""
+
+import pytest
+
+from repro.control.lifeguard import RepairState
+from repro.control.sentinel import SentinelStyle, covering_sentinel, unused_half
+from repro.dataplane.failures import ASForwardingFailure
+from repro.isolation.direction import FailureDirection
+from repro.workloads.scenarios import build_deployment
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_deployment(scale="tiny", seed=5, num_providers=2)
+
+
+def _reverse_transit_for(scenario, target):
+    """First transit AS on the reverse path target -> origin VP."""
+    lifeguard = scenario.lifeguard
+    topo = scenario.topo
+    origin_router = topo.routers_of(scenario.origin_asn)[0]
+    target_rid = lifeguard.dataplane.host_router(target)
+    walk = lifeguard.dataplane.forward(
+        target_rid, topo.router(origin_router).address
+    )
+    assert walk.delivered, "scenario must start healthy"
+    hops = walk.as_level_hops(topo)
+    # Skip the target's own AS; also skip the origin's AS at the end.
+    transits = [a for a in hops[1:-1] if a != scenario.origin_asn]
+    assert transits, "need a transit AS to break"
+    return transits[0]
+
+
+class TestScenarioWiring:
+    def test_monitored_targets_initially_reachable(self, scenario):
+        lifeguard = scenario.lifeguard
+        vp = scenario.vantage_points.get("origin")
+        for target in scenario.targets:
+            assert lifeguard.prober.ping(vp.rid, target).success
+
+    def test_sentinel_covers_production(self, scenario):
+        sentinel = scenario.lifeguard.sentinel_manager.sentinel
+        assert scenario.production_prefix.is_more_specific_of(sentinel)
+
+    def test_sentinel_unused_half_is_dark(self, scenario):
+        sentinel = scenario.lifeguard.sentinel_manager.sentinel
+        half = unused_half(scenario.production_prefix, sentinel)
+        assert scenario.graph.origin_of(half) is None
+
+
+class TestEndToEndRepair:
+    def test_full_repair_cycle(self, scenario):
+        lifeguard = scenario.lifeguard
+        target = scenario.targets[0]
+        bad_asn = _reverse_transit_for(scenario, target)
+        sentinel = lifeguard.sentinel_manager.sentinel
+
+        # Prime the atlas while healthy, then break the reverse path for
+        # two hours starting at t=1000.
+        lifeguard.prime_atlas(now=0.0)
+        failure = ASForwardingFailure(
+            asn=bad_asn, toward=sentinel, start=1000.0, end=8200.0
+        )
+        lifeguard.dataplane.failures.add(failure)
+
+        lifeguard.run(start=30.0, end=9600.0)
+
+        poisoned = [
+            r for r in lifeguard.records if r.poisoned_asn == bad_asn
+        ]
+        assert poisoned, "LIFEGUARD never poisoned the failing AS"
+        record = poisoned[0]
+        assert record.isolation.direction is FailureDirection.REVERSE
+        assert record.isolation.blamed_asn == bad_asn
+        # Decision respected the persistence threshold.
+        assert record.poison_time - record.outage.start >= 300.0
+        # Poisoning restored connectivity (monitor saw the outage end).
+        assert record.outage.end is not None
+        assert record.outage.end < failure.end
+        # The sentinel detected the repair and the poison was withdrawn.
+        assert record.state is RepairState.UNPOISONED
+        assert record.repair_detected_time is not None
+        assert record.repair_detected_time >= failure.end
+        assert record.convergence_seconds is not None
+        assert record.convergence_seconds < 600.0
+
+    def test_short_outage_not_poisoned(self, scenario):
+        lifeguard = scenario.lifeguard
+        target = scenario.targets[1]
+        bad_asn = _reverse_transit_for(scenario, target)
+        sentinel = lifeguard.sentinel_manager.sentinel
+        start = lifeguard.engine.now + 600.0
+        # A 3-minute blip: below the persistence threshold.
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=sentinel,
+                start=start,
+                end=start + 180.0,
+            )
+        )
+        before = len(lifeguard.poisoned_records())
+        lifeguard.run(start=start, end=start + 1200.0)
+        new_poisons = [
+            r
+            for r in lifeguard.poisoned_records()[before:]
+            if r.outage.start >= start - 1.0
+        ]
+        assert not new_poisons
+
+
+class TestSentinelHelpers:
+    def test_covering_sentinel_is_one_bit_shorter(self, scenario):
+        production = scenario.production_prefix
+        sentinel = covering_sentinel(production)
+        assert sentinel.length == production.length - 1
+        assert production.is_more_specific_of(sentinel)
+
+    def test_unused_half_disjoint_from_production(self, scenario):
+        production = scenario.production_prefix
+        sentinel = covering_sentinel(production)
+        half = unused_half(production, sentinel)
+        assert half != production
+        assert half.is_more_specific_of(sentinel)

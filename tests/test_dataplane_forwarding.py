@@ -1,0 +1,152 @@
+"""Tests for FIBs, forwarding walks and failure models."""
+
+import pytest
+
+from repro.dataplane.failures import (
+    ASForwardingFailure,
+    FailureSet,
+    LinkFailure,
+    RouterFailure,
+)
+from repro.dataplane.fib import LOCAL, build_fibs
+from repro.dataplane.forwarding import DataPlane, ForwardOutcome
+from repro.topology.generate import prefix_for_asn
+
+
+def _routers_in_distinct_stub_ases(graph, topo, count=2):
+    stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+    return [topo.routers_of(asn)[0] for asn in stubs[:count]]
+
+
+class TestFibs:
+    def test_origin_prefix_is_local(self, small_internet):
+        graph, _topo, engine = small_internet
+        fibs = build_fibs(engine)
+        some_as = next(iter(graph.ases()))
+        assert fibs.next_hop_as(
+            some_as, prefix_for_asn(some_as).address(1)
+        ) == LOCAL
+
+    def test_next_hop_matches_loc_rib(self, small_internet):
+        graph, _topo, engine = small_internet
+        fibs = build_fibs(engine)
+        ases = sorted(graph.ases())
+        src, dst = ases[0], ases[-1]
+        expected = engine.best_route(src, prefix_for_asn(dst)).neighbor
+        assert fibs.next_hop_as(src, prefix_for_asn(dst).address(1)) == expected
+
+    def test_origin_for_finds_owner(self, small_internet):
+        graph, _topo, engine = small_internet
+        fibs = build_fibs(engine)
+        asn = sorted(graph.ases())[3]
+        assert fibs.origin_for(prefix_for_asn(asn).address(9)) == asn
+
+
+class TestForwarding:
+    def test_delivery_between_stubs(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        result = dataplane.forward(src, topo.router(dst).address)
+        assert result.delivered
+        assert result.final_router == dst
+        assert result.hops[0] == src
+
+    def test_as_level_path_matches_bgp(self, small_internet, dataplane):
+        graph, topo, engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        src_asn, dst_asn = topo.router(src).asn, topo.router(dst).asn
+        result = dataplane.forward(src, topo.router(dst).address)
+        from repro.bgp.messages import unique_ases
+
+        bgp_path = unique_ases(engine.as_path(src_asn, prefix_for_asn(dst_asn)))
+        assert tuple(result.as_level_hops(topo)) == (src_asn,) + bgp_path
+
+    def test_ttl_expiry(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        result = dataplane.forward(src, topo.router(dst).address, ttl=1)
+        assert result.outcome is ForwardOutcome.TTL_EXPIRED
+        assert len(result.hops) == 2  # source + the expiring hop
+
+    def test_no_route_to_unknown_prefix(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src = _routers_in_distinct_stub_ases(graph, topo, 1)[0]
+        result = dataplane.forward(src, "203.0.113.1")
+        assert result.outcome is ForwardOutcome.NO_ROUTE
+
+    def test_host_address_delivers_to_first_router(
+        self, small_internet, dataplane
+    ):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        dst_asn = topo.router(dst).asn
+        host = prefix_for_asn(dst_asn).address(4000)  # not a router address
+        result = dataplane.forward(src, host)
+        assert result.delivered
+        assert result.final_router == topo.routers_of(dst_asn)[0]
+
+
+class TestFailures:
+    def test_router_failure_drops(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        clean = dataplane.forward(src, topo.router(dst).address)
+        assert clean.delivered and len(clean.hops) >= 3
+        victim = clean.hops[len(clean.hops) // 2]
+        dataplane.failures.add(RouterFailure(rid=victim))
+        broken = dataplane.forward(src, topo.router(dst).address)
+        assert broken.outcome is ForwardOutcome.DROPPED
+        assert broken.final_router == victim
+
+    def test_as_failure_scoped_to_destination(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        clean = dataplane.forward(src, topo.router(dst).address)
+        transit_asn = clean.as_level_hops(topo)[1]
+        dst_prefix = prefix_for_asn(topo.router(dst).asn)
+        dataplane.failures.add(
+            ASForwardingFailure(asn=transit_asn, toward=dst_prefix)
+        )
+        # Traffic toward dst dies in the failed AS...
+        assert not dataplane.forward(src, topo.router(dst).address).delivered
+        # ...but unrelated destinations through the same AS still work.
+        other = [
+            n.asn
+            for n in graph.nodes()
+            if n.tier == 3 and n.asn not in (topo.router(src).asn,
+                                             topo.router(dst).asn)
+        ]
+        for candidate in other:
+            walk = dataplane.forward(
+                src, prefix_for_asn(candidate).address(1)
+            )
+            if transit_asn in walk.as_level_hops(topo):
+                assert walk.delivered
+                break
+
+    def test_link_failure_unidirectional(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        clean = dataplane.forward(src, topo.router(dst).address)
+        a, b = clean.hops[1], clean.hops[2]
+        dataplane.failures.add(LinkFailure(a=a, b=b, bidirectional=False))
+        broken = dataplane.forward(src, topo.router(dst).address)
+        if (a, b) in zip(clean.hops, clean.hops[1:]):
+            assert not broken.delivered
+
+    def test_failure_time_window(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        src, dst = _routers_in_distinct_stub_ases(graph, topo)
+        victim = dataplane.forward(src, topo.router(dst).address).hops[1]
+        dataplane.failures.add(
+            RouterFailure(rid=victim, start=100.0, end=200.0)
+        )
+        assert dataplane.forward(
+            src, topo.router(dst).address, now=50.0
+        ).delivered
+        assert not dataplane.forward(
+            src, topo.router(dst).address, now=150.0
+        ).delivered
+        assert dataplane.forward(
+            src, topo.router(dst).address, now=250.0
+        ).delivered

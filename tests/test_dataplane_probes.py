@@ -1,0 +1,215 @@
+"""Tests for ping/traceroute/spoofed probes and reverse traceroute."""
+
+import pytest
+
+from repro.dataplane.failures import ASForwardingFailure, RouterFailure
+from repro.dataplane.probes import Prober
+from repro.dataplane.reverse_traceroute import ReverseTracerouteTool
+from repro.topology.generate import prefix_for_asn
+
+
+def _stub_routers(graph, topo, count):
+    stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+    return [topo.routers_of(asn)[0] for asn in stubs[:count]]
+
+
+def _helper_avoiding(prober, graph, topo, dst, avoid_asn, exclude):
+    """A stub vantage point whose reverse path from *dst* skips *avoid_asn*."""
+    for node in graph.nodes():
+        if node.tier != 3:
+            continue
+        rid = topo.routers_of(node.asn)[0]
+        if rid in exclude:
+            continue
+        walk = prober.dataplane.forward(dst, topo.router(rid).address)
+        if walk.delivered and avoid_asn not in walk.as_level_hops(topo):
+            return rid
+    pytest.fail(
+        f"no stub avoids AS{avoid_asn} on the reverse path from {dst}"
+    )
+
+
+@pytest.fixture()
+def prober(dataplane):
+    return Prober(dataplane)
+
+
+class TestPing:
+    def test_ping_success(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        assert prober.ping(src, topo.router(dst).address).success
+
+    def test_ping_counts_probes(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        prober.ping(src, topo.router(dst).address)
+        assert prober.probes_sent == 1
+
+    def test_ping_fails_on_forward_failure(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        walk = prober.dataplane.forward(src, topo.router(dst).address)
+        transit = walk.as_level_hops(topo)[1]
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=transit, toward=prefix_for_asn(topo.router(dst).asn)
+            )
+        )
+        assert not prober.ping(src, topo.router(dst).address).success
+
+    def test_ping_fails_on_reverse_failure(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        dst_addr = topo.router(dst).address
+        # Break the reverse direction only: some transit AS on the return
+        # path blackholes traffic toward the *source* prefix.
+        reverse_walk = prober.dataplane.forward(
+            dst, topo.router(src).address
+        )
+        reverse_transit = reverse_walk.as_level_hops(topo)[1]
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=reverse_transit,
+                toward=prefix_for_asn(topo.router(src).asn),
+            )
+        )
+        assert not prober.ping(src, dst_addr).success
+
+    def test_spoofed_ping_sidesteps_reverse_failure(
+        self, small_internet, prober
+    ):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        dst_addr = topo.router(dst).address
+        reverse_walk = prober.dataplane.forward(dst, topo.router(src).address)
+        reverse_transit = reverse_walk.as_level_hops(topo)[1]
+        helper = _helper_avoiding(
+            prober, graph, topo, dst, reverse_transit, exclude=(src, dst)
+        )
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=reverse_transit,
+                toward=prefix_for_asn(topo.router(src).asn),
+            )
+        )
+        # Normal ping fails; spoofed-as-helper succeeds: forward path works
+        # and the reply reaches the helper, isolating a reverse failure.
+        assert not prober.ping(src, dst_addr).success
+        assert prober.ping(src, dst_addr, receive_at=helper).success
+
+    def test_unresponsive_router_never_answers(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        prober.dataplane.topo.router(dst).responds_to_ping = False
+        try:
+            assert not prober.ping(src, topo.router(dst).address).success
+        finally:
+            prober.dataplane.topo.router(dst).responds_to_ping = True
+
+
+class TestTraceroute:
+    def test_complete_traceroute(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        result = prober.traceroute(src, topo.router(dst).address)
+        assert result.reached
+        assert result.hops[-1] == topo.router(dst).address
+        walk = prober.dataplane.forward(src, topo.router(dst).address)
+        assert len(result.hops) == len(walk.hops) - 1
+
+    def test_traceroute_stops_at_silent_failure(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        walk = prober.dataplane.forward(src, topo.router(dst).address)
+        victim = walk.hops[len(walk.hops) // 2]
+        prober.dataplane.failures.add(RouterFailure(rid=victim))
+        result = prober.traceroute(src, topo.router(dst).address)
+        assert not result.reached
+        # The last responding hop precedes the victim.
+        victim_index = walk.hops.index(victim)
+        last = result.last_responsive()
+        if last is not None:
+            responding_rids = [
+                prober.dataplane.topo.router_by_address(h).rid
+                for h in result.responding_hops()
+            ]
+            assert all(
+                walk.hops.index(r) < victim_index for r in responding_rids
+            )
+
+    def test_traceroute_misleads_on_reverse_failure(
+        self, small_internet, prober
+    ):
+        """The §5.3 motivation: a reverse failure truncates traceroute at
+        the reachability horizon even though the forward path is fine."""
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        dst_addr = topo.router(dst).address
+        reverse_walk = prober.dataplane.forward(dst, topo.router(src).address)
+        reverse_transit = reverse_walk.as_level_hops(topo)[1]
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=reverse_transit,
+                toward=prefix_for_asn(topo.router(src).asn),
+            )
+        )
+        result = prober.traceroute(src, dst_addr)
+        assert not result.reached  # looks like a forward-path problem...
+        forward_ok = prober.dataplane.forward(src, dst_addr).delivered
+        assert forward_ok  # ...but the forward path actually works
+
+    def test_spoofed_traceroute_reveals_forward_path(
+        self, small_internet, prober
+    ):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        dst_addr = topo.router(dst).address
+        reverse_walk = prober.dataplane.forward(dst, topo.router(src).address)
+        reverse_transit = reverse_walk.as_level_hops(topo)[1]
+        helper = _helper_avoiding(
+            prober, graph, topo, dst, reverse_transit, exclude=(src, dst)
+        )
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=reverse_transit,
+                toward=prefix_for_asn(topo.router(src).asn),
+            )
+        )
+        spoofed = prober.traceroute(src, dst_addr, receive_at=helper)
+        assert spoofed.reached
+
+
+class TestReverseTraceroute:
+    def test_measures_working_reverse_path(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        tool = ReverseTracerouteTool(prober)
+        path = tool.measure(src, topo.router(dst).address)
+        assert path is not None
+        truth = prober.dataplane.forward(dst, topo.router(src).address)
+        assert path.hops == [
+            topo.router(rid).address for rid in truth.hops
+        ]
+
+    def test_unmeasurable_during_reverse_failure(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        reverse_walk = prober.dataplane.forward(dst, topo.router(src).address)
+        reverse_transit = reverse_walk.as_level_hops(topo)[1]
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=reverse_transit,
+                toward=prefix_for_asn(topo.router(src).asn),
+            )
+        )
+        tool = ReverseTracerouteTool(prober)
+        assert tool.measure(src, topo.router(dst).address) is None
+
+    def test_probe_accounting(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        tool = ReverseTracerouteTool(prober)
+        tool.measure(src, topo.router(dst).address)
+        # 1 ping + 10 amortized option probes.
+        assert prober.probes_sent == 11

@@ -1,0 +1,48 @@
+"""The example scripts must run end-to-end (they double as system tests)."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def _run(name):
+    path = os.path.abspath(os.path.join(EXAMPLES, name))
+    runpy.run_path(path, run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "repair timeline" in out
+        assert "unpoisoned" in out
+
+    def test_failure_isolation_demo(self, capsys):
+        _run("failure_isolation_demo.py")
+        out = capsys.readouterr().out
+        assert "correct: the injected failure" in out
+
+    def test_selective_poisoning(self, capsys):
+        _run("selective_poisoning.py")
+        out = capsys.readouterr().out
+        assert "selective poisoning shifted the target" in out
+
+    def test_ec2_outage_study(self, capsys):
+        _run("ec2_outage_study.py")
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Fig. 5" in out
+
+    def test_case_study_taiwan(self, capsys):
+        _run("case_study_taiwan.py")
+        out = capsys.readouterr().out
+        assert "repaired the outage" in out
+
+    def test_reverse_traceroute_demo(self, capsys):
+        _run("reverse_traceroute_demo.py")
+        out = capsys.readouterr().out
+        assert "reverse path" in out
+        assert "measurement returns None" in out

@@ -1,0 +1,124 @@
+"""Smoke tests for every experiment driver at tiny scale.
+
+The benchmarks run the studies at evaluation scale; these tests verify
+the drivers' mechanics quickly (structure of outputs, basic invariants).
+"""
+
+import pytest
+
+from repro.experiments.accuracy import run_isolation_accuracy_study
+from repro.experiments.alternate_paths import run_alternate_path_study
+from repro.experiments.convergence import run_poisoning_convergence_study
+from repro.experiments.diversity import run_provider_diversity_study
+from repro.experiments.efficacy import (
+    harvest_path_corpus,
+    run_topology_efficacy_study,
+)
+
+
+class TestConvergenceStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        study, graph = run_poisoning_convergence_study(
+            scale="tiny", seed=3, max_poisons=4
+        )
+        return study, graph
+
+    def test_two_baselines_per_candidate(self, study):
+        study, _graph = study
+        prepended = [t for t in study.trials if t.prepended_baseline]
+        plain = [t for t in study.trials if not t.prepended_baseline]
+        assert len(prepended) == len(plain) > 0
+        assert {t.poisoned_asn for t in prepended} == {
+            t.poisoned_asn for t in plain
+        }
+
+    def test_poisoned_as_never_in_alternates(self, study):
+        study, _graph = study
+        for trial in study.trials:
+            assert trial.found_alternate.isdisjoint(trial.cut_off)
+            assert trial.found_alternate <= trial.affected_peers
+            assert trial.cut_off <= trial.affected_peers
+
+    def test_loss_rates_bounded(self, study):
+        study, _graph = study
+        for trial in study.trials:
+            if trial.loss_overall is not None:
+                assert 0.0 <= trial.loss_overall <= 1.0
+            if trial.loss_max_bin is not None:
+                assert 0.0 <= trial.loss_max_bin <= 1.0
+
+    def test_event_times_monotonic(self, study):
+        study, _graph = study
+        times = [t.event_time for t in study.trials]
+        assert times == sorted(times)
+
+
+class TestEfficacyStudy:
+    def test_outcomes_unique_and_bounded(self):
+        study, graph = run_topology_efficacy_study(
+            scale="tiny", seed=3, num_origins=5, max_cases=500
+        )
+        seen = set()
+        for outcome in study.outcomes:
+            key = (outcome.source, outcome.origin, outcome.poisoned)
+            assert key not in seen
+            seen.add(key)
+            assert outcome.poisoned != outcome.origin
+        assert 0.0 <= study.fraction_with_alternates <= 1.0
+
+    def test_harvest_corpus_paths_start_with_source(self):
+        from repro.bgp.engine import BGPEngine
+        from repro.workloads.scenarios import build_internet
+
+        graph, _shape = build_internet("tiny", 3)
+        engine = BGPEngine(graph)
+        for node in graph.nodes():
+            for prefix in node.prefixes:
+                engine.originate(node.asn, prefix)
+        engine.run()
+        origins = graph.stubs()[:3]
+        corpus = harvest_path_corpus(engine, origins)
+        assert corpus
+        for path in corpus:
+            assert path[-1] in origins
+            assert len(path) == len(set(path))  # collapsed, loop-free
+
+
+class TestDiversityStudy:
+    def test_fractions_in_range(self):
+        study, _graph = run_provider_diversity_study(
+            scale="tiny", seed=3, num_feeds=10, max_reverse_feeds=5
+        )
+        assert 0.0 <= study.forward_fraction <= 1.0
+        assert 0.0 <= study.reverse_fraction <= 1.0
+        assert study.forward_avoidable
+        assert study.reverse_avoidable
+
+
+class TestAccuracyStudy:
+    def test_case_structure(self):
+        study, scenario = run_isolation_accuracy_study(
+            scale="tiny", seed=3, num_cases=8
+        )
+        assert study.cases
+        for case in study.cases:
+            assert case.result is not None
+            assert case.result.probes_used > 0
+            assert case.result.elapsed_seconds > 0
+        assert 0.0 <= study.accuracy <= 1.0
+        assert study.mean_probes > 0
+
+
+class TestAlternatePathStudy:
+    def test_case_structure(self):
+        study, _graph = run_alternate_path_study(
+            scale="tiny", seed=3, num_sites=10, num_outages=30
+        )
+        assert study.corpus_size > 0
+        assert study.cases
+        for case in study.cases:
+            assert case.duration >= 1800.0  # the >= 3-round population
+            # Triple-test positives are a subset of valley positives.
+            if case.alternate_exists:
+                assert case.alternate_exists_valley

@@ -1,0 +1,234 @@
+"""Integration tests for direction isolation and the full isolator."""
+
+import pytest
+
+from repro.dataplane.failures import ASForwardingFailure
+from repro.dataplane.probes import Prober
+from repro.isolation.direction import DirectionIsolator, FailureDirection
+from repro.isolation.horizon import HopStatus, ReachabilityHorizon
+from repro.isolation.isolator import FailureIsolator
+from repro.measure.atlas import AtlasRefresher, PathAtlas
+from repro.measure.responsiveness import ResponsivenessDB
+from repro.measure.vantage import VantageSet
+from repro.topology.generate import prefix_for_asn
+
+
+@pytest.fixture()
+def deployment(small_internet, dataplane):
+    """A LIFEGUARD-style measurement deployment: VPs, atlas, isolator."""
+    graph, topo, _engine = small_internet
+    prober = Prober(dataplane)
+    vps = VantageSet(topo)
+    stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+    for index, asn in enumerate(stubs[:6]):
+        vps.add(f"vp{index}", topo.routers_of(asn)[0])
+    target_asn = stubs[10]
+    target = topo.router(topo.routers_of(target_asn)[0]).address
+    atlas = PathAtlas()
+    responsiveness = ResponsivenessDB()
+    refresher = AtlasRefresher(prober, vps, atlas, responsiveness)
+    refresher.refresh_all([target], now=0.0)
+    isolator = FailureIsolator(prober, vps, atlas, responsiveness)
+    return {
+        "graph": graph,
+        "topo": topo,
+        "prober": prober,
+        "vps": vps,
+        "target": target,
+        "target_asn": target_asn,
+        "atlas": atlas,
+        "isolator": isolator,
+    }
+
+
+def _reverse_transit(deployment, vp_name="vp0"):
+    """A transit AS on the reverse path target -> vp0."""
+    topo = deployment["topo"]
+    prober = deployment["prober"]
+    vp = deployment["vps"].get(vp_name)
+    target_rid = prober.dataplane.host_router(deployment["target"])
+    walk = prober.dataplane.forward(target_rid, topo.router(vp.rid).address)
+    assert walk.delivered
+    as_hops = walk.as_level_hops(topo)
+    return as_hops[1]  # first transit AS past the target's own
+
+
+def _forward_transit(deployment, vp_name="vp0"):
+    topo = deployment["topo"]
+    prober = deployment["prober"]
+    vp = deployment["vps"].get(vp_name)
+    walk = prober.dataplane.forward(vp.rid, deployment["target"])
+    assert walk.delivered
+    return walk.as_level_hops(topo)[1]
+
+
+class TestDirectionIsolation:
+    def test_reverse_failure_classified(self, deployment):
+        topo = deployment["topo"]
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _reverse_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(vp.rid).asn)
+            )
+        )
+        isolator = DirectionIsolator(deployment["prober"])
+        helpers = [o.rid for o in deployment["vps"].others("vp0")]
+        direction, evidence = isolator.classify(
+            vp.rid, deployment["target"], helpers
+        )
+        assert direction is FailureDirection.REVERSE
+        assert evidence.forward_works
+
+    def test_forward_failure_classified(self, deployment):
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _forward_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=prefix_for_asn(deployment["target_asn"]),
+            )
+        )
+        isolator = DirectionIsolator(deployment["prober"])
+        helpers = [o.rid for o in deployment["vps"].others("vp0")]
+        direction, evidence = isolator.classify(
+            vp.rid, deployment["target"], helpers
+        )
+        # The same AS may sit on other VPs' paths too; the failure is
+        # forward from vp0's perspective as long as some helper reaches
+        # the target and relays spoofed replies.
+        assert direction in (
+            FailureDirection.FORWARD,
+            FailureDirection.BIDIRECTIONAL,
+        )
+
+    def test_healthy_path_is_unknown(self, deployment):
+        vp = deployment["vps"].get("vp0")
+        isolator = DirectionIsolator(deployment["prober"])
+        helpers = [o.rid for o in deployment["vps"].others("vp0")]
+        direction, _ = isolator.classify(
+            vp.rid, deployment["target"], helpers
+        )
+        assert direction is FailureDirection.UNKNOWN
+
+
+class TestReachabilityHorizon:
+    def test_horizon_splits_path(self, deployment):
+        topo = deployment["topo"]
+        prober = deployment["prober"]
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _reverse_transit(deployment)
+        target_rid = prober.dataplane.host_router(deployment["target"])
+        truth = prober.dataplane.forward(
+            target_rid, topo.router(vp.rid).address
+        )
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(vp.rid).asn)
+            )
+        )
+        horizon = ReachabilityHorizon(prober)
+        hops = [topo.router(rid).address for rid in truth.hops]
+        result = horizon.test_path(
+            vp.rid, hops, skip_source_as=topo.router(vp.rid).asn
+        )
+        assert result.suspect is not None
+        assert result.suspect.asn == bad_asn
+
+    def test_configured_silent_excluded(self, deployment):
+        prober = deployment["prober"]
+        responsiveness = ResponsivenessDB()
+        some_hop = deployment["target"]
+        for _ in range(3):
+            responsiveness.record(some_hop, responded=False)
+        horizon = ReachabilityHorizon(prober, responsiveness)
+        vp = deployment["vps"].get("vp0")
+        result = horizon.test_path(vp.rid, [some_hop])
+        assert result.verdicts[0].status is HopStatus.EXCLUDED
+
+
+class TestFullIsolation:
+    def test_reverse_failure_blamed_correctly(self, deployment):
+        topo = deployment["topo"]
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _reverse_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(vp.rid).asn)
+            )
+        )
+        result = deployment["isolator"].isolate(
+            "vp0", deployment["target"], now=100.0
+        )
+        assert result.direction is FailureDirection.REVERSE
+        assert result.blamed_asn == bad_asn
+        assert result.probes_used > 0
+        assert result.elapsed_seconds > 0
+
+    def test_reverse_failure_differs_from_traceroute(self, deployment):
+        """Traceroute alone blames a forward-path AS; LIFEGUARD finds the
+        reverse-path culprit (the paper's Fig. 4 situation)."""
+        topo = deployment["topo"]
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _reverse_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(vp.rid).asn)
+            )
+        )
+        result = deployment["isolator"].isolate(
+            "vp0", deployment["target"], now=100.0
+        )
+        if result.traceroute_verdict is not None:
+            # Whenever traceroute produced a verdict at all, it may point
+            # at the wrong AS; LIFEGUARD should still point at the right
+            # one (asserted above). Record the comparison explicitly.
+            assert result.blamed_asn == bad_asn
+
+    def test_forward_failure_blamed(self, deployment):
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _forward_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=prefix_for_asn(deployment["target_asn"]),
+            )
+        )
+        result = deployment["isolator"].isolate(
+            "vp0", deployment["target"], now=100.0
+        )
+        assert result.blamed_asn == bad_asn
+
+    def test_working_path_measured_for_reverse_failure(self, deployment):
+        topo = deployment["topo"]
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _reverse_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(vp.rid).asn)
+            )
+        )
+        result = deployment["isolator"].isolate(
+            "vp0", deployment["target"], now=100.0
+        )
+        # The forward direction works, so the spoofed traceroute should
+        # have captured it.
+        assert result.working_path
+
+    def test_isolation_without_atlas_notes_it(self, deployment):
+        topo = deployment["topo"]
+        vp = deployment["vps"].get("vp0")
+        bad_asn = _reverse_transit(deployment)
+        deployment["prober"].dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(vp.rid).asn)
+            )
+        )
+        from repro.measure.atlas import PathAtlas
+
+        bare = FailureIsolator(
+            deployment["prober"], deployment["vps"], PathAtlas()
+        )
+        result = bare.isolate("vp0", deployment["target"], now=100.0)
+        assert result.blamed_asn is None
+        assert any("no historical reverse path" in n for n in result.notes)

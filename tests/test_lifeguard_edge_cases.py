@@ -1,0 +1,91 @@
+"""Edge cases of the LIFEGUARD control loop: decisions not to poison."""
+
+import pytest
+
+from repro.control.lifeguard import RepairState
+from repro.dataplane.failures import ASForwardingFailure
+from repro.measure.atlas import AtlasRefresher, PathAtlas
+from repro.topology.generate import prefix_for_asn
+from repro.workloads.scenarios import build_deployment
+
+
+class TestNoAlternateDecision:
+    def test_single_provider_failure_not_poisoned(self):
+        """If the blamed AS is the origin's only provider, no poison:
+        there is no policy-compliant path around it."""
+        scenario = build_deployment(
+            scale="tiny", seed=41, num_providers=1
+        )
+        lifeguard = scenario.lifeguard
+        provider = scenario.graph.providers(scenario.origin_asn)[0]
+        lifeguard.prime_atlas(now=0.0)
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=provider,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=500.0,
+            )
+        )
+        lifeguard.run(start=500.0, end=2000.0)
+        assert not lifeguard.poisoned_records()
+        blamed_provider = [
+            r
+            for r in lifeguard.records
+            if r.state is RepairState.NOT_POISONED
+            and r.isolation is not None
+            and r.isolation.blamed_asn == provider
+        ]
+        assert blamed_provider
+        assert any(
+            "no policy-compliant path" in note
+            for record in blamed_provider
+            for note in record.notes
+        )
+
+    def test_failure_in_destination_as_not_poisoned(self):
+        """A failure inside the destination's own AS is its operators'
+        problem; poisoning the edge would only cut it off."""
+        scenario = build_deployment(
+            scale="tiny", seed=43, num_providers=2
+        )
+        lifeguard = scenario.lifeguard
+        topo = scenario.topo
+        target = scenario.targets[0]
+        target_asn = topo.router_by_address(target).asn
+        lifeguard.prime_atlas(now=0.0)
+        # Break forwarding *to the origin* inside the destination AS.
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=target_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=500.0,
+            )
+        )
+        lifeguard.run(start=500.0, end=2000.0)
+        poisons_of_target = [
+            r
+            for r in lifeguard.poisoned_records()
+            if r.poisoned_asn == target_asn
+        ]
+        assert not poisons_of_target
+
+
+class TestIncrementalAtlasMode:
+    def test_incremental_refresher_populates_atlas(self):
+        scenario = build_deployment(scale="tiny", seed=47, num_providers=2)
+        lifeguard = scenario.lifeguard
+        atlas = PathAtlas()
+        refresher = AtlasRefresher(
+            lifeguard.prober,
+            scenario.vantage_points,
+            atlas,
+            use_incremental=True,
+        )
+        stats = refresher.refresh_all(scenario.targets[:2], now=0.0)
+        assert stats.paths_refreshed > 0
+        # Incremental mode accounts actual probes, not the cost model.
+        assert stats.option_probes > 0
+        for vp in scenario.vantage_points:
+            entry = atlas.latest_reverse(vp.name, scenario.targets[0])
+            if entry is not None:
+                assert entry.hops

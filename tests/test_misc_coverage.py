@@ -1,0 +1,90 @@
+"""Smaller behaviours: file I/O, partial-outage checks, probe helpers."""
+
+import pytest
+
+from repro.dataplane.failures import ASForwardingFailure
+from repro.dataplane.probes import Prober
+from repro.measure.monitor import PingMonitor
+from repro.measure.vantage import VantageSet
+from repro.topology.generate import (
+    InternetShape,
+    generate_internet,
+    prefix_for_asn,
+)
+from repro.topology.serialize import (
+    dump_as_graph_path,
+    load_as_graph_path,
+)
+
+
+class TestSerializeFiles:
+    def test_file_roundtrip(self, tmp_path):
+        graph = generate_internet(
+            InternetShape(num_tier1=3, num_tier2=5, num_stubs=8), seed=3
+        )
+        path = tmp_path / "topology.as-rel"
+        dump_as_graph_path(graph, path)
+        loaded = load_as_graph_path(path)
+        assert sorted(loaded.links()) == sorted(graph.links())
+
+
+class TestPartialOutageCheck:
+    def test_is_partial_true_when_other_vp_reaches(
+        self, small_internet, dataplane
+    ):
+        graph, topo, _engine = small_internet
+        prober = Prober(dataplane)
+        vps = VantageSet(topo)
+        stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+        for i, asn in enumerate(stubs[:3]):
+            vps.add(f"vp{i}", topo.routers_of(asn)[0])
+        target = topo.router(topo.routers_of(stubs[9])[0]).address
+        monitor = PingMonitor(prober, vps, [target])
+
+        # Break only vp0's path: a transit AS on it, scoped to traffic
+        # toward the target, that the other VPs' paths avoid.
+        walk0 = dataplane.forward(vps.get("vp0").rid, target)
+        candidates = walk0.as_level_hops(topo)[1:-1]
+        chosen = None
+        for candidate in candidates:
+            others_clear = all(
+                candidate
+                not in dataplane.forward(vp.rid, target).as_level_hops(topo)
+                for vp in vps.others("vp0")
+            )
+            if others_clear:
+                chosen = candidate
+                break
+        if chosen is None:
+            pytest.skip("all candidate transits shared in this draw")
+        target_asn = topo.router_by_address(target).asn
+        dataplane.failures.add(
+            ASForwardingFailure(
+                asn=chosen, toward=prefix_for_asn(target_asn)
+            )
+        )
+        for round_index in range(5):
+            monitor.run_round(now=30.0 * round_index)
+        assert monitor.outages
+        assert monitor.is_partial(monitor.outages[0])
+
+
+class TestProbeResultHelpers:
+    def test_traceroute_result_helpers(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        prober = Prober(dataplane)
+        stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+        src = topo.routers_of(stubs[0])[0]
+        dst_addr = topo.router(topo.routers_of(stubs[1])[0]).address
+        result = prober.traceroute(src, dst_addr)
+        assert result.last_responsive() == result.responding_hops()[-1]
+        assert all(h is not None for h in result.responding_hops())
+
+    def test_reply_loss_rate_drops_some(self, small_internet, dataplane):
+        graph, topo, _engine = small_internet
+        prober = Prober(dataplane, reply_loss_rate=0.5, seed=9)
+        stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+        src = topo.routers_of(stubs[0])[0]
+        dst_addr = topo.router(topo.routers_of(stubs[1])[0]).address
+        outcomes = [prober.ping(src, dst_addr).success for _ in range(40)]
+        assert any(outcomes) and not all(outcomes)

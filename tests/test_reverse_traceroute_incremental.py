@@ -1,0 +1,137 @@
+"""Tests for record-route pings and incremental reverse traceroute."""
+
+import pytest
+
+from repro.dataplane.failures import ASForwardingFailure
+from repro.dataplane.probes import RECORD_ROUTE_SLOTS, Prober
+from repro.dataplane.reverse_traceroute import ReverseTracerouteTool
+from repro.topology.generate import prefix_for_asn
+
+
+def _stub_routers(graph, topo, count):
+    stubs = [n.asn for n in graph.nodes() if n.tier == 3]
+    return [topo.routers_of(asn)[0] for asn in stubs[:count]]
+
+
+@pytest.fixture()
+def prober(dataplane):
+    return Prober(dataplane)
+
+
+class TestRecordRoutePing:
+    def test_stamps_forward_then_reply(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        result = prober.rr_ping(src, topo.router(dst).address)
+        assert result.success
+        assert len(result.recorded) <= RECORD_ROUTE_SLOTS
+        # Forward stamps end at the destination router.
+        request = prober.dataplane.forward(src, topo.router(dst).address)
+        forward_stamps = [
+            topo.router(rid).address for rid in request.hops[1:]
+        ]
+        boundary = min(len(forward_stamps), RECORD_ROUTE_SLOTS)
+        assert result.recorded[:boundary] == forward_stamps[:boundary]
+        # Reply stamps (if any) are the reverse path's first hops.
+        if result.recorded_reply:
+            reply = prober.dataplane.forward(
+                dst, topo.router(src).address
+            )
+            reply_stamps = [
+                topo.router(rid).address for rid in reply.hops[1:]
+            ]
+            assert result.recorded_reply == reply_stamps[
+                : len(result.recorded_reply)
+            ]
+
+    def test_fails_without_round_trip(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        src, dst = _stub_routers(graph, topo, 2)
+        reverse_walk = prober.dataplane.forward(
+            dst, topo.router(src).address
+        )
+        bad_asn = reverse_walk.as_level_hops(topo)[1]
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(src).asn)
+            )
+        )
+        result = prober.rr_ping(src, topo.router(dst).address)
+        assert not result.success
+        assert result.recorded == []
+
+    def test_spoofed_rr_records_toward_claimed_source(
+        self, small_internet, prober
+    ):
+        graph, topo, _ = small_internet
+        src, dst, helper = _stub_routers(graph, topo, 3)
+        claimed = topo.router(helper).address
+        result = prober.rr_ping(
+            src, topo.router(dst).address, claimed_address=claimed
+        )
+        if result.success and result.recorded_reply:
+            reply = prober.dataplane.forward(dst, claimed)
+            reply_stamps = [
+                topo.router(rid).address for rid in reply.hops[1:]
+            ]
+            assert result.recorded_reply == reply_stamps[
+                : len(result.recorded_reply)
+            ]
+
+
+class TestIncrementalReverseTraceroute:
+    def test_matches_ground_truth_when_coverage_suffices(
+        self, small_internet, prober
+    ):
+        graph, topo, _ = small_internet
+        routers = _stub_routers(graph, topo, 6)
+        src, dst, helpers = routers[0], routers[1], routers[2:]
+        tool = ReverseTracerouteTool(prober)
+        measured = tool.measure_incremental(
+            src, topo.router(dst).address, vantage_rids=helpers
+        )
+        assert measured is not None
+        truth = prober.dataplane.forward(dst, topo.router(src).address)
+        truth_addresses = [
+            topo.router(rid).address for rid in truth.hops
+        ]
+        # The measured assembly must be a prefix-consistent subsequence
+        # of the true reverse path ending inside the source AS.
+        assert measured.hops[0] == truth_addresses[0]
+        assert set(a.value for a in measured.hops) <= set(
+            a.value for a in truth_addresses
+        )
+        last_asn = topo.router_by_address(measured.hops[-1]).asn
+        assert last_asn == topo.router(src).asn
+
+    def test_fails_during_reverse_failure(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        routers = _stub_routers(graph, topo, 6)
+        src, dst, helpers = routers[0], routers[1], routers[2:]
+        reverse_walk = prober.dataplane.forward(
+            dst, topo.router(src).address
+        )
+        bad_asn = reverse_walk.as_level_hops(topo)[1]
+        prober.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn, toward=prefix_for_asn(topo.router(src).asn)
+            )
+        )
+        tool = ReverseTracerouteTool(prober)
+        assert (
+            tool.measure_incremental(
+                src, topo.router(dst).address, vantage_rids=helpers
+            )
+            is None
+        )
+
+    def test_counts_probes(self, small_internet, prober):
+        graph, topo, _ = small_internet
+        routers = _stub_routers(graph, topo, 4)
+        src, dst, helpers = routers[0], routers[1], routers[2:]
+        tool = ReverseTracerouteTool(prober)
+        before = prober.probes_sent
+        tool.measure_incremental(
+            src, topo.router(dst).address, vantage_rids=helpers
+        )
+        assert prober.probes_sent > before

@@ -1,0 +1,117 @@
+"""Unit tests for the router-level topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generate import InternetShape, generate_internet
+from repro.topology.routers import RouterTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    graph = generate_internet(
+        InternetShape(num_tier1=3, num_tier2=8, num_stubs=15), seed=13
+    )
+    return graph, RouterTopology.build(graph, seed=13)
+
+
+class TestBuild:
+    def test_every_as_has_routers(self, topo):
+        graph, rt = topo
+        for asn in graph.ases():
+            assert rt.routers_of(asn)
+
+    def test_router_addresses_inside_as_prefix(self, topo):
+        graph, rt = topo
+        for router in rt.routers():
+            prefix = graph.node(router.asn).prefixes[0]
+            assert router.address in prefix
+
+    def test_addresses_unique(self, topo):
+        _graph, rt = topo
+        addresses = [r.address.value for r in rt.routers()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_every_as_link_realized(self, topo):
+        graph, rt = topo
+        for a, b, _rel in graph.links():
+            assert rt.as_link_routers(a, b)
+            assert rt.as_link_routers(b, a)
+
+    def test_border_flag_set(self, topo):
+        graph, rt = topo
+        for a, b, _rel in graph.links():
+            for ra, rb in rt.as_link_routers(a, b):
+                assert rt.router(ra).is_border
+                assert rt.router(rb).is_border
+
+    def test_unknown_router_raises(self, topo):
+        _graph, rt = topo
+        with pytest.raises(TopologyError):
+            rt.router("AS999.r0")
+        with pytest.raises(TopologyError):
+            rt.routers_of(999)
+
+
+class TestIntraASPaths:
+    def test_next_hop_walk_terminates(self, topo):
+        graph, rt = topo
+        for asn in list(graph.ases())[:10]:
+            rids = rt.routers_of(asn)
+            if len(rids) < 2:
+                continue
+            src, dst = rids[0], rids[-1]
+            current, steps = src, 0
+            while current != dst and steps < 20:
+                nxt = rt.intra_next_hop(current, dst)
+                assert nxt is not None, "intra-AS graph disconnected"
+                current = nxt
+                steps += 1
+            assert current == dst
+
+    def test_next_hop_none_for_self(self, topo):
+        _graph, rt = topo
+        rid = next(iter(rt.routers())).rid
+        assert rt.intra_next_hop(rid, rid) is None
+
+
+class TestEgressSelection:
+    def test_egress_picks_connected_pair(self, topo):
+        graph, rt = topo
+        for a, b, _rel in list(graph.links())[:15]:
+            src = rt.routers_of(a)[0]
+            egress = rt.egress_router(src, b)
+            assert egress is not None
+            egress_rid, ingress_rid = egress
+            assert rt.router(egress_rid).asn == a
+            assert rt.router(ingress_rid).asn == b
+            assert (egress_rid, ingress_rid) in rt.as_link_routers(a, b)
+
+    def test_egress_none_for_non_neighbor(self, topo):
+        graph, rt = topo
+        ases = sorted(graph.ases())
+        non_adjacent = None
+        for a in ases:
+            for b in ases:
+                if a != b and not graph.has_link(a, b):
+                    non_adjacent = (a, b)
+                    break
+            if non_adjacent:
+                break
+        a, b = non_adjacent
+        assert rt.egress_router(rt.routers_of(a)[0], b) is None
+
+    def test_hot_potato_prefers_closer_border(self, topo):
+        """Egress distance from the chosen border router is minimal."""
+        graph, rt = topo
+        for a, b, _rel in list(graph.links())[:10]:
+            options = rt.as_link_routers(a, b)
+            if len(options) < 2:
+                continue
+            src = rt.routers_of(a)[0]
+            egress_rid, _ = rt.egress_router(src, b)
+            chosen = rt._intra_distance(src, egress_rid)
+            for other_egress, _ in options:
+                other = rt._intra_distance(src, other_egress)
+                if other is not None:
+                    assert chosen <= other
