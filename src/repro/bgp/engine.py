@@ -93,6 +93,13 @@ class BGPEngine:
         self.updates_sent: Dict[Tuple[int, int], int] = {}
         #: optional hook fired on every Loc-RIB change.
         self.on_change: Optional[Callable[[RouteChange], None]] = None
+        #: optional chaos hook consulted per transmitted update; returns
+        #: None (deliver normally), "drop" or "duplicate".  Wired up by
+        #: :class:`repro.faults.injector.FaultInjector`.
+        self.fault_hook: Optional[Callable[[int, int, object],
+                                           Optional[str]]] = None
+        #: BGP session resets performed (chaos accounting).
+        self.session_resets = 0
         speaker_configs = speaker_configs or {}
         for asn in graph.ases():
             neighbor_rels = {
@@ -165,6 +172,42 @@ class BGPEngine:
         speaker.stop_originating(prefix)
         self._record_change(asn, prefix)
         self._flush_all_sessions(asn, prefix)
+
+    def reset_session(self, as_a: int, as_b: int) -> bool:
+        """Tear down and re-establish the BGP session between two ASes.
+
+        Both sides forget everything learned from the other (the implicit
+        withdrawals of a session loss), propagate any resulting best-route
+        changes, then the fresh session re-advertises each side's full
+        desired export from scratch — the re-advertisement burst real
+        resets produce.  Call :meth:`run` afterwards to quiesce.  Returns
+        False (no-op) if the ASes are not BGP neighbors.
+        """
+        if (as_a, as_b) not in self._sessions:
+            return False
+        for src, dst in ((as_a, as_b), (as_b, as_a)):
+            session = self._sessions[(src, dst)]
+            session.last_sent_time.clear()
+            session.sent.clear()
+            # Pending MRAI expiries for the old session may still fire;
+            # _flush_session is idempotent so they become no-ops.
+            session.timer_pending.clear()
+        for src, dst in ((as_a, as_b), (as_b, as_a)):
+            receiver = self.speakers[dst]
+            for prefix, old_best, new_best in receiver.forget_neighbor(src):
+                self._log_change(dst, prefix, old_best, new_best)
+                self._flush_all_sessions(dst, prefix)
+        for src, dst in ((as_a, as_b), (as_b, as_a)):
+            speaker = self.speakers[src]
+            # Locally-originated prefixes are installed in the table too,
+            # so its prefix list is the complete desired-export universe.
+            for prefix in sorted(
+                speaker.table.prefixes(),
+                key=lambda p: (p.base, p.length),
+            ):
+                self._flush_session(src, dst, prefix)
+        self.session_resets += 1
+        return True
 
     def advance_to(self, time: float) -> None:
         """Move the idle engine clock forward to *time*.
@@ -314,8 +357,20 @@ class BGPEngine:
         self.updates_sent[(src, dst)] = (
             self.updates_sent.get((src, dst), 0) + 1
         )
-        arrival = self.now + self._proc_delay() + self._link_delay()
-        self._push(arrival, ("deliver", src, dst, update))
+        deliveries = 1
+        if self.fault_hook is not None:
+            action = self.fault_hook(src, dst, update)
+            if action == "drop":
+                # The sender believes the update went out (session state
+                # already says so); the receiver never sees it.  The
+                # resulting RIB inconsistency persists until the next
+                # update or session reset — exactly a real silent loss.
+                deliveries = 0
+            elif action == "duplicate":
+                deliveries = 2
+        for _ in range(deliveries):
+            arrival = self.now + self._proc_delay() + self._link_delay()
+            self._push(arrival, ("deliver", src, dst, update))
 
     # ------------------------------------------------------------------
     # Introspection helpers

@@ -199,6 +199,27 @@ class BGPSpeaker:
         _, changed = self._reselect(update.prefix)
         return update.prefix, changed
 
+    def forget_neighbor(
+        self, neighbor: int
+    ) -> List[Tuple[Prefix, Optional[Route], Optional[Route]]]:
+        """Drop every Adj-RIB-In route learned from *neighbor*.
+
+        This is what a BGP session loss does on the receiving side: all of
+        the peer's routes are implicitly withdrawn at once.  Returns
+        ``(prefix, old_best, new_best)`` for each prefix whose Loc-RIB
+        selection changed, so the engine can log and propagate.
+        """
+        changed: List[Tuple[Prefix, Optional[Route], Optional[Route]]] = []
+        for prefix in list(self.table.prefixes()):
+            if self.table.route_from(prefix, neighbor) is None:
+                continue
+            old_best = self.table.best(prefix)
+            self.table.withdraw(prefix, neighbor)
+            _, did_change = self._reselect(prefix)
+            if did_change:
+                changed.append((prefix, old_best, self.table.best(prefix)))
+        return changed
+
     # ------------------------------------------------------------------
     # Route-flap damping (RFC 2439)
     # ------------------------------------------------------------------

@@ -172,6 +172,42 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.robustness import run_robustness_study
+
+    intensities = (
+        tuple(args.intensity) if args.intensity else (0.0, 0.1, 0.3)
+    )
+    study = run_robustness_study(
+        scale=args.scale,
+        seed=args.seed,
+        intensities=intensities,
+        num_outages=args.outages,
+    )
+    table = Table(
+        "Chaos: repair under infrastructure faults",
+        ["intensity", "injected", "detected", "repaired", "unpoisoned",
+         "false poisons", "deferrals", "fault events"],
+    )
+    for point in study.points:
+        table.add_row(
+            point.intensity,
+            point.injected,
+            point.detected,
+            point.repaired,
+            point.completed,
+            point.false_poisons,
+            point.deferrals,
+            point.stats.total_events if point.stats else 0,
+        )
+    table.add_note(
+        "faults hit LIFEGUARD's own probes, vantage points, BGP sessions "
+        "and atlas — never the monitored paths"
+    )
+    table.emit()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lifeguard-repro",
@@ -204,6 +240,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="end-to-end repair demo").set_defaults(
         func=_cmd_demo
     )
+    p = sub.add_parser(
+        "chaos", help="robustness under injected infrastructure faults"
+    )
+    p.add_argument("--scale", default="tiny")
+    p.add_argument("--outages", type=int, default=3)
+    p.add_argument(
+        "--intensity",
+        type=float,
+        action="append",
+        help="fault intensity in [0, 1] (repeatable; default 0.0 0.1 0.3)",
+    )
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

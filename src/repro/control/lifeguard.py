@@ -25,7 +25,8 @@ from repro.control.sentinel import SentinelManager, SentinelStyle
 from repro.dataplane.fib import build_fibs
 from repro.dataplane.forwarding import DataPlane
 from repro.dataplane.probes import Prober
-from repro.errors import ControlError
+from repro.errors import ControlError, DegradedError, RetryExhausted
+from repro.faults.injector import RetryBudget
 from repro.isolation.direction import FailureDirection
 from repro.isolation.isolator import FailureIsolator, IsolationResult
 from repro.measure.atlas import AtlasRefresher, PathAtlas
@@ -35,6 +36,15 @@ from repro.measure.vantage import VantageSet
 from repro.net.addr import Address, Prefix
 from repro.splice.reachability import reachable_set_avoiding
 from repro.topology.routers import RouterTopology
+
+
+class OperatingMode(enum.Enum):
+    """How much of the deployment's own infrastructure is healthy."""
+
+    NORMAL = "normal"
+    #: some vantage points are down: isolation runs on thinner evidence
+    #: and poisoning defers until confidence recovers.
+    DEGRADED = "degraded"
 
 
 class RepairState(enum.Enum):
@@ -60,6 +70,8 @@ class RepairRecord:
     convergence_seconds: Optional[float] = None
     repair_detected_time: Optional[float] = None
     unpoison_time: Optional[float] = None
+    #: isolation runs consumed out of the per-outage retry budget.
+    isolation_attempts: int = 0
     notes: List[str] = field(default_factory=list)
 
 
@@ -81,6 +93,15 @@ class LifeguardConfig:
     #: of BGP poisoning.  Requires protocol support no deployed router
     #: has (§3) — available in simulation to quantify the gap.
     use_avoid_problem: bool = False
+    #: refuse to poison below this isolation confidence; the outage is
+    #: re-isolated on later ticks instead (poisoning the wrong AS breaks
+    #: working paths, so thin evidence defers, it does not act).
+    min_confidence: float = 0.5
+    #: give up on an isolation run whose serialized measurement schedule
+    #: exceeds this many seconds; counts as a failed attempt.
+    isolation_timeout: float = 600.0
+    #: isolation runs per outage before giving up (NOT_POISONED).
+    max_isolation_attempts: int = 3
 
 
 class Lifeguard:
@@ -138,6 +159,16 @@ class Lifeguard:
         self.records: List[RepairRecord] = []
         self._records_by_outage: Dict[int, RepairRecord] = {}
         self._last_repair_check: Dict[int, float] = {}
+        self._isolation_budgets: Dict[int, RetryBudget] = {}
+        #: optional :class:`~repro.faults.FaultInjector`; set by attach().
+        self.injector = None
+
+    @property
+    def mode(self) -> OperatingMode:
+        """DEGRADED while any of our own vantage points is down."""
+        if self.vantage_points.down_names():
+            return OperatingMode.DEGRADED
+        return OperatingMode.NORMAL
 
     # ------------------------------------------------------------------
     # Setup
@@ -165,6 +196,13 @@ class Lifeguard:
         if self.engine.now < now:
             self.engine.advance_to(now)
         self.dataplane.now = now
+        if self.injector is not None:
+            applied = self.injector.apply(self, now)
+            if applied.bgp_changed:
+                # A session reset queued withdrawals and a re-advertisement
+                # burst; converge and re-snapshot before measuring.
+                self.engine.run()
+                self.refresh_dataplane()
         self.monitor.run_round(now)
         for outage in self.monitor.ongoing_outages():
             record = self._record_for(outage)
@@ -209,11 +247,56 @@ class Lifeguard:
         record.decision = decision
         if not decision.poison:
             return  # re-evaluated next tick while the outage persists
-        isolation = self.isolator.isolate(
-            record.outage.vp_name, record.outage.destination, now
+        vp_name = record.outage.vp_name
+        target = str(record.outage.destination)
+        if not self.vantage_points.is_up(vp_name):
+            # The observing vantage point is down.  Deferral costs no
+            # retry budget: nothing was attempted, and the outage itself
+            # may be an artifact of the dead VP.
+            self._note_once(
+                record,
+                f"vantage point {vp_name} down: isolation deferred",
+            )
+            return
+        budget = self._isolation_budgets.setdefault(
+            id(record), RetryBudget(self.config.max_isolation_attempts)
         )
+        try:
+            budget.spend("isolation", vp=vp_name, target=target)
+        except RetryExhausted as exc:
+            record.state = RepairState.NOT_POISONED
+            record.notes.append(f"not poisoning: {exc}")
+            return
+        try:
+            isolation = self.isolator.isolate(
+                vp_name, record.outage.destination, now
+            )
+        except DegradedError as exc:
+            # VP died between the health check and the measurement.
+            budget.used -= 1
+            self._note_once(record, f"isolation deferred: {exc}")
+            return
         record.isolation = isolation
+        record.isolation_attempts = budget.used
         record.state = RepairState.ISOLATED
+        if isolation.elapsed_seconds > self.config.isolation_timeout:
+            isolation.discount(
+                0.5,
+                f"isolation ran {isolation.elapsed_seconds:.0f}s, past "
+                f"the {self.config.isolation_timeout:.0f}s timeout",
+            )
+        if isolation.confidence < self.config.min_confidence:
+            # DEGRADED path: keep the record OBSERVED and re-isolate on a
+            # later tick — transiently injected faults (lost probes, a
+            # crashed helper) may have cleared by then.
+            record.state = RepairState.OBSERVED
+            self._note_once(
+                record,
+                f"degraded isolation (confidence "
+                f"{isolation.confidence:.2f} < "
+                f"{self.config.min_confidence:.2f}): deferring poisoning",
+            )
+            return
         if isolation.blamed_asn is None:
             record.state = RepairState.NOT_POISONED
             record.notes.append("isolation produced no suspect AS")
@@ -222,6 +305,10 @@ class Lifeguard:
             record.state = RepairState.NOT_POISONED
             return
         self._poison(record, isolation.blamed_asn, now)
+
+    def _note_once(self, record: RepairRecord, note: str) -> None:
+        if note not in record.notes:
+            record.notes.append(note)
 
     def _poisonable(
         self, isolation: IsolationResult, record: RepairRecord

@@ -83,6 +83,12 @@ class SentinelManager:
         self.origin_router = origin_router
         self.production = production
         self.style = style
+        #: optional :class:`~repro.faults.FaultInjector`; when set it may
+        #: suppress successful sentinel replies (false negatives), which
+        #: delays — never falsifies — repair detection.
+        self.injector = None
+        #: replies the injector ate (accounting for the chaos bench).
+        self.replies_suppressed = 0
         if style is SentinelStyle.LESS_SPECIFIC:
             self.sentinel: Optional[Prefix] = covering_sentinel(production)
             self._probe_source = unused_half(
@@ -130,6 +136,16 @@ class SentinelManager:
                 claimed_address=self._probe_source,
             )
             if result.success:
+                if self.injector is not None and (
+                    self.injector.sentinel_false_negative(
+                        self.prober.dataplane.now
+                    )
+                ):
+                    # A lost sentinel reply looks exactly like "still
+                    # broken": repair detection is delayed to a later
+                    # check, never spuriously triggered.
+                    self.replies_suppressed += 1
+                    continue
                 responding.append(Address(destination))
         return RepairCheck(
             repaired=bool(responding),

@@ -84,6 +84,19 @@ class Prober:
     ``reply_loss_rate`` injects random reply loss (ICMP rate limiting) so
     the measurement layers above have to tolerate missing answers the way
     the real system does.
+
+    All of the prober's own randomness flows from the single seeded
+    ``random.Random`` built here (or passed in via *rng* to share a stream
+    with the caller) — never from the module-level ``random`` functions —
+    so chaos runs replay bit-for-bit.
+
+    An attached :class:`~repro.faults.injector.FaultInjector` may eat
+    probes (loss, latency spikes, crashed sources).  Injected faults are
+    transient infrastructure problems, so the prober retries them with
+    bounded exponential backoff (``max_retries`` / ``retry_backoff``);
+    failures of the *measured* path are never retried — they are the
+    signal.  With no injector attached, behaviour is byte-identical to the
+    pre-chaos prober.
     """
 
     def __init__(
@@ -91,12 +104,25 @@ class Prober:
         dataplane: DataPlane,
         reply_loss_rate: float = 0.0,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
+        injector=None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
     ) -> None:
         self.dataplane = dataplane
         self.reply_loss_rate = reply_loss_rate
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self.injector = injector
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         #: total probe packets emitted (for the §5.4 accounting).
         self.probes_sent = 0
+        #: probes consumed by injected infrastructure faults.
+        self.probes_lost_to_faults = 0
+        #: retries spent recovering from injected faults.
+        self.retries_used = 0
+        #: cumulative backoff the retries would have waited (seconds).
+        self.retry_wait_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Internals
@@ -108,6 +134,46 @@ class Prober:
         return (
             self.reply_loss_rate > 0
             and self._rng.random() < self.reply_loss_rate
+        )
+
+    def _probe_blocked(self, source_rid: str) -> bool:
+        """Did injected faults consume this probe (after bounded retries)?
+
+        Each injected loss burns one emitted probe; each retry waits
+        ``retry_backoff * 2**attempt`` seconds (accounted, not simulated —
+        the backoff is microscopic next to the 30 s monitoring round).
+        """
+        if self.injector is None:
+            return False
+        fault = self.injector.probe_fault(source_rid, self.dataplane.now)
+        if fault is None:
+            return False
+        self.probes_sent += 1
+        self.probes_lost_to_faults += 1
+        for attempt in range(self.max_retries):
+            self.retries_used += 1
+            self.retry_wait_seconds += self.retry_backoff * (2 ** attempt)
+            fault = self.injector.probe_fault(
+                source_rid, self.dataplane.now
+            )
+            if fault is None:
+                return False
+            self.probes_sent += 1
+            self.probes_lost_to_faults += 1
+        return True
+
+    def _receiver_crashed(self, receive_at: Optional[str]) -> bool:
+        """Is the spoof-receiving vantage point dead?  (No retry: the
+        receiver stays down for the whole crash window.)"""
+        return (
+            self.injector is not None
+            and receive_at is not None
+            and self.injector.receiver_down(receive_at)
+        )
+
+    def _lost_probe_result(self, source_rid: str) -> ForwardResult:
+        return ForwardResult(
+            ForwardOutcome.DROPPED, [source_rid], source_rid
         )
 
     def _send_reply(
@@ -141,8 +207,15 @@ class Prober:
         instead — LIFEGUARD pings from its sentinel prefix's unused space
         this way to test whether a poisoned path has been repaired.
         """
-        self.probes_sent += 1
         destination = Address(destination)
+        if self._probe_blocked(source_rid) or self._receiver_crashed(
+            receive_at
+        ):
+            self.probes_sent += 1
+            return PingResult(
+                success=False, request=self._lost_probe_result(source_rid)
+            )
+        self.probes_sent += 1
         if claimed_address is not None:
             claimed = Address(claimed_address)
         else:
@@ -189,6 +262,13 @@ class Prober:
         destination = Address(destination)
         claimed = self._address_of(receive_at or source_rid)
         result = TracerouteResult(source=source_rid, destination=destination)
+        # One fault draw covers the whole measurement: a traceroute whose
+        # probes are being eaten yields nothing an operator can use.
+        if self._probe_blocked(source_rid) or self._receiver_crashed(
+            receive_at
+        ):
+            self.probes_sent += 1
+            return result
         silent_run = 0
         for ttl in range(1, max_ttl + 1):
             self.probes_sent += 1
@@ -239,8 +319,13 @@ class Prober:
         back toward the (possibly spoofed) source.  ``recorded_reply``
         separates the reply-side stamps for the caller.
         """
-        self.probes_sent += 1
         destination = Address(destination)
+        if self._probe_blocked(source_rid) or self._receiver_crashed(
+            receive_at
+        ):
+            self.probes_sent += 1
+            return RecordRouteResult(success=False)
+        self.probes_sent += 1
         if claimed_address is not None:
             claimed = Address(claimed_address)
         else:

@@ -3,9 +3,16 @@
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures with a single except clause while still letting
 programming errors (TypeError, etc.) propagate.
+
+Measurement- and isolation-side errors can carry the failing vantage point
+and target so operators (and the degraded control loop) see *which* pair
+broke without parsing free-form text: the context is appended to the
+message and kept on ``.vp`` / ``.target`` attributes.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -32,13 +39,45 @@ class SimulationError(ReproError):
     """The discrete-event simulation was driven incorrectly."""
 
 
-class MeasurementError(ReproError):
+class _ContextualError(ReproError):
+    """An error annotated with the (vp, target) pair it concerns."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        vp: Optional[str] = None,
+        target: Optional[str] = None,
+    ) -> None:
+        self.vp = vp
+        self.target = target
+        context = []
+        if vp is not None:
+            context.append(f"vp={vp}")
+        if target is not None:
+            context.append(f"target={target}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+
+
+class MeasurementError(_ContextualError):
     """A probe or monitoring operation could not be carried out."""
 
 
-class IsolationError(ReproError):
+class IsolationError(_ContextualError):
     """Failure isolation could not run (e.g. no atlas for the path)."""
 
 
 class ControlError(ReproError):
     """The remediation controller was asked to do something invalid."""
+
+
+class DegradedError(_ContextualError):
+    """An operation cannot run at full fidelity right now (infrastructure
+    faults: dead vantage points, missing atlas coverage).  Callers should
+    defer and retry rather than act on partial evidence."""
+
+
+class RetryExhausted(MeasurementError):
+    """A bounded retry budget ran out without a usable result."""

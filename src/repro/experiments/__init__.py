@@ -25,6 +25,11 @@ from repro.experiments.alternate_paths import (
     AlternatePathStudy,
     run_alternate_path_study,
 )
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    RobustnessStudy,
+    run_robustness_study,
+)
 
 __all__ = [
     "ConvergenceStudy",
@@ -38,4 +43,7 @@ __all__ = [
     "run_isolation_accuracy_study",
     "AlternatePathStudy",
     "run_alternate_path_study",
+    "RobustnessPoint",
+    "RobustnessStudy",
+    "run_robustness_study",
 ]

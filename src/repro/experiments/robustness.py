@@ -1,0 +1,221 @@
+"""Robustness study: repair under faults in LIFEGUARD's own plumbing.
+
+The paper's deployment ran on infrastructure that failed constantly —
+PlanetLab vantage points crashed, probes were rate-limited or lost, BGP
+sessions to the Mux flapped, and the background atlas was always somewhat
+stale (§5.2).  This study quantifies how the control loop holds up: it
+injects *ground-truth* data-plane failures (the thing LIFEGUARD should
+repair) while a :class:`~repro.faults.FaultInjector` simultaneously breaks
+the measurement and control machinery at a swept intensity, then scores
+
+* repair rate — injected outages where LIFEGUARD poisoned the truly
+  failed AS (and later detected repair and unpoisoned);
+* false poisons — poisoning an AS that was never broken, the failure
+  mode graceful degradation exists to prevent;
+* deferrals — rounds where the DEGRADED path held fire on thin evidence.
+
+Intensity 0 doubles as the reproducibility anchor: an attached injector
+with an empty plan must leave the run byte-identical to no injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.control.lifeguard import RepairState
+from repro.dataplane.failures import ASForwardingFailure
+from repro.faults.injector import FaultStats
+from repro.net.addr import Address
+from repro.splice.reachability import reachable_set_avoiding
+from repro.workloads.scenarios import (
+    DeploymentScenario,
+    build_chaos_deployment,
+)
+
+#: Ground-truth failure schedule: outage *k* starts at
+#: ``FIRST_FAILURE + k * FAILURE_SPACING`` and lasts ``FAILURE_DURATION``,
+#: leaving room for detection, poisoning, repair detection and unpoisoning
+#: before the next one begins.
+FIRST_FAILURE = 1000.0
+FAILURE_DURATION = 7200.0
+FAILURE_SPACING = 9000.0
+
+
+@dataclass
+class InjectedOutage:
+    """One ground-truth failure and what LIFEGUARD did about it."""
+
+    target: Address
+    target_asn: int
+    #: the AS that actually dropped traffic.
+    true_asn: int
+    start: float
+    end: float
+    detected: bool = False
+    #: LIFEGUARD poisoned exactly the failed AS.
+    poisoned_true: bool = False
+    #: ... and later detected the repair and withdrew the poison.
+    unpoisoned: bool = False
+
+
+@dataclass
+class RobustnessPoint:
+    """One intensity level of the sweep."""
+
+    intensity: float
+    outages: List[InjectedOutage] = field(default_factory=list)
+    #: poisons of ASes that were never broken (must stay zero).
+    false_poisons: int = 0
+    #: degraded-path holds: low confidence or dead-VP deferrals.
+    deferrals: int = 0
+    #: outages abandoned after the isolation retry budget ran dry.
+    retry_exhausted: int = 0
+    #: what the injector actually did during the run.
+    stats: Optional[FaultStats] = None
+
+    @property
+    def injected(self) -> int:
+        return len(self.outages)
+
+    @property
+    def detected(self) -> int:
+        return sum(o.detected for o in self.outages)
+
+    @property
+    def repaired(self) -> int:
+        return sum(o.poisoned_true for o in self.outages)
+
+    @property
+    def completed(self) -> int:
+        return sum(o.unpoisoned for o in self.outages)
+
+    @property
+    def repair_fraction(self) -> float:
+        if not self.outages:
+            return 0.0
+        return self.repaired / len(self.outages)
+
+
+@dataclass
+class RobustnessStudy:
+    """The full intensity sweep."""
+
+    points: List[RobustnessPoint] = field(default_factory=list)
+
+    @property
+    def max_false_poisons(self) -> int:
+        return max((p.false_poisons for p in self.points), default=0)
+
+
+def _true_as_for(
+    scenario: DeploymentScenario, target: Address
+) -> Optional[int]:
+    """A transit AS on target->origin whose loss poisoning can route around.
+
+    Restricting ground truth to avoidable ASes separates this study from
+    the §5.1 efficacy question: here every injected failure is repairable
+    in principle, so any miss is chargeable to the injected infrastructure
+    faults.
+    """
+    lifeguard = scenario.lifeguard
+    topo = scenario.topo
+    origin_rid = topo.routers_of(scenario.origin_asn)[0]
+    origin_addr = topo.router(origin_rid).address
+    target_rid = lifeguard.dataplane.host_router(target)
+    target_asn = topo.router_by_address(target).asn
+    walk = lifeguard.dataplane.forward(target_rid, origin_addr)
+    if not walk.delivered:
+        return None
+    for asn in walk.as_level_hops(topo)[1:-1]:
+        if asn in (scenario.origin_asn, target_asn):
+            continue
+        reachable = reachable_set_avoiding(
+            scenario.graph, scenario.origin_asn, avoid=[asn]
+        )
+        if target_asn in reachable:
+            return asn
+    return None
+
+
+def _run_point(
+    scale: str, seed: int, intensity: float, num_outages: int
+) -> RobustnessPoint:
+    scenario, injector = build_chaos_deployment(
+        scale=scale, seed=seed, intensity=intensity
+    )
+    lifeguard = scenario.lifeguard
+    lifeguard.prime_atlas(now=0.0)
+    point = RobustnessPoint(intensity=intensity, stats=injector.stats)
+
+    true_asns = set()
+    for index in range(num_outages):
+        target = scenario.targets[index % len(scenario.targets)]
+        true_asn = _true_as_for(scenario, target)
+        if true_asn is None:
+            continue
+        start = FIRST_FAILURE + index * FAILURE_SPACING
+        outage = InjectedOutage(
+            target=target,
+            target_asn=scenario.topo.router_by_address(target).asn,
+            true_asn=true_asn,
+            start=start,
+            end=start + FAILURE_DURATION,
+        )
+        # Scope the drop toward the sentinel super-prefix so both the
+        # production path and the repair-detection channel break — the
+        # reverse-failure shape the sentinel exists for (§4.2).
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=true_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=outage.start,
+                end=outage.end,
+            )
+        )
+        point.outages.append(outage)
+        true_asns.add(true_asn)
+
+    end = FIRST_FAILURE + num_outages * FAILURE_SPACING + 2400.0
+    lifeguard.run(start=30.0, end=end)
+
+    # Score at the AS level: one ground-truth failure can break several
+    # monitored pairs, and whichever pair's record drives the poison
+    # repairs them all.  A record counts for the outage whose window its
+    # detection falls in.
+    for outage in point.outages:
+        for record in lifeguard.records:
+            if not outage.start <= record.outage.start <= outage.end:
+                continue
+            outage.detected = True
+            if record.poisoned_asn == outage.true_asn:
+                outage.poisoned_true = True
+                if record.state is RepairState.UNPOISONED:
+                    outage.unpoisoned = True
+    for record in lifeguard.records:
+        if (
+            record.poisoned_asn is not None
+            and record.poisoned_asn not in true_asns
+        ):
+            point.false_poisons += 1
+        for note in record.notes:
+            if "deferr" in note or "deferred" in note:
+                point.deferrals += 1
+            if "retry budget" in note:
+                point.retry_exhausted += 1
+    return point
+
+
+def run_robustness_study(
+    scale: str = "tiny",
+    seed: int = 0,
+    intensities: Sequence[float] = (0.0, 0.1, 0.3),
+    num_outages: int = 3,
+) -> RobustnessStudy:
+    """Sweep fault intensity; each point is an independent deployment."""
+    study = RobustnessStudy()
+    for intensity in intensities:
+        study.points.append(
+            _run_point(scale, seed, intensity, num_outages)
+        )
+    return study

@@ -1,0 +1,22 @@
+"""Fault injection for LIFEGUARD's *own* infrastructure.
+
+The paper's deployment ran on unreliable parts — PlanetLab vantage points
+that died, probes that vanished to ICMP rate limiting, BGP sessions that
+reset, an atlas that was always somewhat stale (§5.2).  This package makes
+those pathologies injectable in simulation: a :class:`FaultPlan` declares
+*what* can go wrong and *when*, and a :class:`FaultInjector` applies it
+deterministically from a single seeded RNG so chaos runs are reproducible
+bit-for-bit.
+"""
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.injector import FaultInjector, FaultStats, RetryBudget
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultStats",
+    "RetryBudget",
+]

@@ -25,7 +25,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.dataplane.probes import Prober, TracerouteResult
 from repro.dataplane.reverse_traceroute import ReverseTracerouteTool
-from repro.errors import IsolationError
+from repro.errors import DegradedError, IsolationError
 from repro.isolation.direction import DirectionIsolator, FailureDirection
 from repro.isolation.horizon import (
     HopStatus,
@@ -67,10 +67,22 @@ class IsolationResult:
     probes_used: int = 0
     elapsed_seconds: float = 0.0
     notes: List[str] = field(default_factory=list)
+    #: how much of the normal evidence base backed this verdict, in
+    #: (0, 1].  1.0 means the full pipeline ran with healthy inputs;
+    #: every missing input (dead helpers, absent atlas history, unknown
+    #: direction, uncorroborated blame) discounts it.  The control loop
+    #: refuses to poison below its configured threshold — better to keep
+    #: a broken path than to poison the wrong AS on thin evidence.
+    confidence: float = 1.0
 
     @property
     def isolated(self) -> bool:
         return self.blamed_asn is not None
+
+    def discount(self, factor: float, reason: str) -> None:
+        """Weaken confidence by *factor*, recording why."""
+        self.confidence *= factor
+        self.notes.append(f"confidence x{factor:g}: {reason}")
 
     @property
     def differs_from_traceroute(self) -> bool:
@@ -114,7 +126,11 @@ class FailureIsolator:
         return self.prober.dataplane.fibs.origin_for(address)
 
     def _helpers_for(self, vp: VantagePoint) -> List[str]:
-        return [other.rid for other in self.vantage_points.others(vp.name)]
+        """Rids of the *live* helper pool (dead VPs can't spoof-receive)."""
+        return [
+            other.rid
+            for other in self.vantage_points.live_others(vp.name)
+        ]
 
     def _traceroute_blame(
         self, trace: TracerouteResult
@@ -134,9 +150,22 @@ class FailureIsolator:
         destination: Union[str, Address],
         now: float,
     ) -> IsolationResult:
-        """Isolate the failure on the (vp, destination) path."""
+        """Isolate the failure on the (vp, destination) path.
+
+        Always returns a (possibly partial) :class:`IsolationResult` whose
+        ``confidence`` reflects how much of the evidence base was
+        available; raises :class:`~repro.errors.DegradedError` only when
+        no measurement is possible at all (the vantage point itself is
+        down).
+        """
         destination = Address(destination)
         vp = self.vantage_points.get(vp_name)
+        if not self.vantage_points.is_up(vp_name):
+            raise DegradedError(
+                "cannot isolate: vantage point is down",
+                vp=vp_name,
+                target=str(destination),
+            )
         helpers = self._helpers_for(vp)
         probes_before = self.prober.probes_sent
 
@@ -155,6 +184,13 @@ class FailureIsolator:
             traceroute_verdict=traceroute_verdict,
         )
         result.elapsed_seconds += COST_DIRECTION
+        if not helpers:
+            result.discount(
+                0.3, "no live helper vantage points: spoofed tests and "
+                "corroboration unavailable"
+            )
+        elif len(helpers) < 2:
+            result.discount(0.6, "only one live helper vantage point")
 
         if direction is FailureDirection.REVERSE:
             self._isolate_reverse(vp, destination, helpers, now, result,
@@ -166,9 +202,10 @@ class FailureIsolator:
             self._isolate_forward(vp, destination, helpers, now, result,
                                   failing_trace)
         else:
-            result.notes.append(
+            result.discount(
+                0.2,
                 "direction unknown: destination unreachable from all "
-                "vantage points or failure resolved during isolation"
+                "vantage points or failure resolved during isolation",
             )
         result.probes_used = self.prober.probes_sent - probes_before
         return result
@@ -201,7 +238,10 @@ class FailureIsolator:
             vp.name, destination, before=now, limit=self.historical_depth
         )
         if not history:
-            result.notes.append("no historical reverse path in atlas")
+            result.discount(
+                0.4, "no historical reverse path in atlas: cannot test "
+                "the failing direction"
+            )
             result.elapsed_seconds += COST_ATLAS_TESTS
             return
         result.elapsed_seconds += COST_ATLAS_TESTS
@@ -214,13 +254,89 @@ class FailureIsolator:
             )
             result.horizon = horizon
             if horizon.suspect is not None:
+                if not entry.reached and horizon.last_reaching is None:
+                    # A partial (truncated) measurement whose tested hops
+                    # are all unreachable says nothing about *where* the
+                    # horizon sits — the reaching region was cut off, so
+                    # the "suspect" is just the truncation point.
+                    result.notes.append(
+                        f"partial path at t={entry.time:.0f}: no tested "
+                        "hop reaches the source; distrusting its suspect"
+                    )
+                    continue
                 self._blame_from_horizon(result, horizon)
+                if not entry.reached:
+                    result.discount(
+                        0.8,
+                        "suspect comes from a partial path measurement "
+                        f"(t={entry.time:.0f})",
+                    )
                 break
             result.notes.append(
                 f"path at t={entry.time:.0f} gave no informative suspect; "
                 "expanding to older paths"
             )
+        if result.blamed_asn is None:
+            # Last resort when every individual entry is unusable (stale
+            # or truncated by infrastructure faults): merge the hops of
+            # *all* recorded paths for the pair — older reverse entries
+            # and reversed forward entries fill in the near-source region
+            # a truncation cut off — and run the horizon once over the
+            # merged path.  Weaker evidence, so the blame is discounted.
+            merged = self._merged_candidate_hops(vp.name, destination, now)
+            if merged:
+                horizon = self.horizon.test_path(
+                    vp.rid,
+                    merged,
+                    helper_rids=helpers[:3],
+                    skip_source_as=source_as,
+                )
+                result.horizon = horizon
+                if horizon.suspect is not None:
+                    self._blame_from_horizon(result, horizon)
+                    result.discount(
+                        0.7, "suspect comes from hops merged across "
+                        "stale/partial atlas entries"
+                    )
+        if result.blamed_asn is None:
+            result.discount(
+                0.5, "every historical reverse path exhausted without an "
+                "informative suspect"
+            )
         result.elapsed_seconds += COST_REVERSE_MEASUREMENTS + COST_PRUNING
+
+    def _merged_candidate_hops(
+        self,
+        vp_name: str,
+        destination: Address,
+        now: float,
+    ) -> List[Address]:
+        """Hops of every recorded path for the pair, in rough travel order.
+
+        The newest reverse entry anchors the destination->source order;
+        hops only other entries know about (older reverse paths, forward
+        paths reversed) are appended in their own travel order, which
+        restores the near-source region a truncated entry is missing.
+        """
+        seen = set()
+        merged: List[Address] = []
+        hop_lists = [
+            list(entry.hops)
+            for entry in self.atlas.reverse_history(
+                vp_name, destination, before=now
+            )
+        ] + [
+            list(reversed(entry.hops))
+            for entry in self.atlas.forward_history(
+                vp_name, destination, before=now
+            )
+        ]
+        for hops in hop_lists:
+            for hop in hops:
+                if hop.value not in seen:
+                    seen.add(hop.value)
+                    merged.append(hop)
+        return merged
 
     def _blame_from_horizon(
         self, result: IsolationResult, horizon: HorizonResult
@@ -271,9 +387,9 @@ class FailureIsolator:
             # source eats even the TTL-exceeded replies).  Fall back to
             # the atlas: ping the hops of historical forward paths and
             # find the reachability horizon along them.
-            result.notes.append(
-                "failing traceroute got no responses; testing historical "
-                "forward paths instead"
+            result.discount(
+                0.8, "failing traceroute got no responses; testing "
+                "historical forward paths instead"
             )
             self._forward_horizon_fallback(
                 vp, destination, helpers, now, result
@@ -307,6 +423,11 @@ class FailureIsolator:
                 )
         else:
             result.blamed_asn = last_asn
+            if next_asn is None:
+                result.discount(
+                    0.7, "no historical forward path corroborates the "
+                    "next hop; blaming the last responsive hop alone"
+                )
         result.elapsed_seconds += COST_ATLAS_TESTS + COST_PRUNING
 
     def _as_forwards_to(
@@ -353,10 +474,23 @@ class FailureIsolator:
             )
             result.horizon = horizon
             if horizon.suspect is not None:
+                if not entry.reached and horizon.last_reaching is None:
+                    result.notes.append(
+                        f"partial path at t={entry.time:.0f}: no tested "
+                        "hop reaches the source; distrusting its suspect"
+                    )
+                    continue
                 self._blame_from_horizon(result, horizon)
+                if not entry.reached:
+                    result.discount(
+                        0.8,
+                        "suspect comes from a partial path measurement "
+                        f"(t={entry.time:.0f})",
+                    )
                 return
-        result.notes.append(
-            "no historical forward path produced an informative suspect"
+        result.discount(
+            0.5, "no historical forward path produced an informative "
+            "suspect"
         )
 
     def _next_hop_from_history(

@@ -126,6 +126,62 @@ class PathAtlas:
         out.reverse()
         return out[:limit] if limit is not None else out
 
+    # ------------------------------------------------------------------
+    # Chaos hooks (fault injection)
+    # ------------------------------------------------------------------
+    def pairs(self, reverse: bool = True) -> List[Tuple[str, int]]:
+        """Every (vp_name, destination value) key in one store, sorted.
+
+        Sorted so the fault injector visits pairs in a deterministic order
+        regardless of measurement interleaving.
+        """
+        store = self._reverse if reverse else self._forward
+        return sorted(store)
+
+    def drop_latest(
+        self,
+        vp_name: str,
+        destination: Union[str, int, Address],
+        reverse: bool = True,
+    ) -> bool:
+        """Delete the newest entry for a pair (stale-atlas fault).
+
+        Keeps at least one entry so staleness degrades history instead of
+        erasing it — the real atlas was always *somewhat* stale, never
+        absent for a monitored pair.  Returns True if an entry went.
+        """
+        store = self._reverse if reverse else self._forward
+        entries = store.get(self._key(vp_name, destination))
+        if not entries or len(entries) < 2:
+            return False
+        entries.pop()
+        return True
+
+    def truncate_latest(
+        self,
+        vp_name: str,
+        destination: Union[str, int, Address],
+        reverse: bool = True,
+        min_hops: int = 2,
+    ) -> bool:
+        """Halve the newest entry's hop list (partial-measurement fault).
+
+        Models a measurement recorded as complete that actually died
+        partway: isolation then tests a path missing its far end.
+        """
+        store = self._reverse if reverse else self._forward
+        entries = store.get(self._key(vp_name, destination))
+        if not entries:
+            return False
+        latest = entries[-1]
+        keep = max(min_hops, len(latest.hops) // 2)
+        if keep >= len(latest.hops):
+            return False
+        entries[-1] = AtlasEntry(
+            time=latest.time, hops=latest.hops[:keep], reached=False
+        )
+        return True
+
     def all_known_hops(
         self,
         vp_name: str,

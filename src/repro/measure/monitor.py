@@ -29,6 +29,9 @@ class MonitorEvent(enum.Enum):
     OUTAGE_STARTED = "outage-started"
     OUTAGE_ONGOING = "outage-ongoing"
     OUTAGE_ENDED = "outage-ended"
+    #: the vantage point itself is down: the pair was not probed and its
+    #: failure streak is frozen — a dead VP says nothing about the target.
+    VP_DOWN = "vp-down"
 
 
 @dataclass
@@ -90,6 +93,11 @@ class PingMonitor:
         self, vp: VantagePoint, target: Address, now: float
     ) -> MonitorEvent:
         state = self._pair_state(vp, target)
+        if not self.vantage_points.is_up(vp.name):
+            # Known-dead vantage point: probing it would only manufacture
+            # spurious outages.  Freeze the pair's streak — an outage that
+            # was already open stays open until a *live* round answers.
+            return MonitorEvent.VP_DOWN
         success = any(
             self.prober.ping(vp.rid, target).success
             for _ in range(PINGS_PER_ROUND)
@@ -147,7 +155,7 @@ class PingMonitor:
         a policy-compliant alternate path may too (79% of the EC2 study's
         outages were partial).
         """
-        for vp in self.vantage_points.others(outage.vp_name):
+        for vp in self.vantage_points.live_others(outage.vp_name):
             if self.prober.ping(vp.rid, outage.destination).success:
                 return True
         return False

@@ -1,9 +1,18 @@
-"""Vantage points: the PlanetLab-host role in the deployment."""
+"""Vantage points: the PlanetLab-host role in the deployment.
+
+Vantage points carry a health bit: the real deployment's PlanetLab nodes
+crashed regularly (§5.2), and the controller *knows* when its own
+measurement daemon stops reporting — so liveness is tracked state, not
+something inferred from probe loss.  The fault injector drives
+:meth:`VantageSet.mark_down` / :meth:`VantageSet.mark_up`; the monitor and
+isolator consult :meth:`VantageSet.is_up` to avoid misreading a dead
+vantage point as a dead Internet path.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.errors import MeasurementError
 from repro.net.addr import Address
@@ -27,6 +36,7 @@ class VantageSet:
     def __init__(self, topo: RouterTopology) -> None:
         self.topo = topo
         self._by_name: Dict[str, VantagePoint] = {}
+        self._down: Set[str] = set()
 
     def add(self, name: str, rid: str) -> VantagePoint:
         """Register a vantage point at router *rid*."""
@@ -41,7 +51,40 @@ class VantageSet:
         try:
             return self._by_name[name]
         except KeyError:
-            raise MeasurementError(f"unknown vantage point {name!r}")
+            raise MeasurementError(
+                f"unknown vantage point {name!r}", vp=name
+            )
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def mark_down(self, name: str) -> None:
+        """Record that *name*'s measurement host stopped responding."""
+        self.get(name)  # validates
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Record that *name* came back."""
+        self._down.discard(name)
+
+    def is_up(self, name: str) -> bool:
+        return name not in self._down
+
+    def down_names(self) -> List[str]:
+        """Names of currently-dead vantage points."""
+        return sorted(self._down)
+
+    def live(self) -> List[VantagePoint]:
+        """All vantage points currently up."""
+        return [vp for vp in self._by_name.values() if self.is_up(vp.name)]
+
+    def live_others(self, name: str) -> List[VantagePoint]:
+        """Live vantage points other than *name* (the usable helper pool)."""
+        return [
+            vp
+            for vp in self._by_name.values()
+            if vp.name != name and self.is_up(vp.name)
+        ]
 
     def __iter__(self) -> Iterator[VantagePoint]:
         return iter(self._by_name.values())

@@ -16,6 +16,7 @@ from repro.workloads.outages import (
 from repro.workloads.hubble import HubbleDataset, generate_hubble_dataset
 from repro.workloads.scenarios import (
     DeploymentScenario,
+    build_chaos_deployment,
     build_deployment,
     build_internet,
 )
@@ -28,5 +29,6 @@ __all__ = [
     "generate_hubble_dataset",
     "DeploymentScenario",
     "build_internet",
+    "build_chaos_deployment",
     "build_deployment",
 ]

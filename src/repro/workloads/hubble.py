@@ -23,7 +23,6 @@ whole grid from raw events rather than hard-coding it.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 

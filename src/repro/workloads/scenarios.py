@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bgp.engine import BGPEngine, EngineConfig
 from repro.control.lifeguard import Lifeguard, LifeguardConfig
 from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultPlan
 from repro.measure.vantage import VantageSet
 from repro.net.addr import Address, Prefix
 from repro.topology.as_graph import ASGraph
@@ -155,3 +156,61 @@ def build_deployment(
         targets=targets,
         vp_asns=vp_asns,
     )
+
+
+def _transit_session(graph: ASGraph, origin_asn: int) -> Tuple[int, int]:
+    """A BGP session one hop away from the origin's edge.
+
+    Resetting the first provider's session to its own upstream exercises
+    the chaos path without disconnecting the origin.  Falls back to the
+    origin-provider session itself in degenerate topologies.
+    """
+    providers = sorted(graph.providers(origin_asn))
+    provider = providers[0]
+    upstream = sorted(graph.providers(provider))
+    if upstream:
+        return provider, upstream[0]
+    return origin_asn, provider
+
+
+def build_chaos_deployment(
+    scale: str = "tiny",
+    seed: int = 0,
+    intensity: float = 0.1,
+    chaos_start: float = 900.0,
+    chaos_end: float = float("inf"),
+    crash_helper: bool = True,
+    reset_session: bool = True,
+    **deployment_kwargs,
+) -> Tuple[DeploymentScenario, FaultInjector]:
+    """The standard deployment with a fault injector attached.
+
+    The injector runs :meth:`FaultPlan.standard` at *intensity* inside
+    ``[chaos_start, chaos_end)``: stochastic probe loss / latency spikes /
+    BGP message faults / atlas corruption / sentinel false negatives, plus
+    (at nonzero intensity) one helper vantage-point crash window and one
+    transit BGP session reset.  At intensity 0 the plan is empty, so the
+    attached injector must be observationally absent — the reproducibility
+    property the test suite pins.
+    """
+    scenario = build_deployment(scale=scale, seed=seed, **deployment_kwargs)
+    crashes = []
+    if crash_helper and "helper0" in scenario.vantage_points:
+        crashes.append(
+            ("helper0", chaos_start + 1100.0, chaos_start + 3100.0)
+        )
+    resets = []
+    if reset_session:
+        as_a, as_b = _transit_session(scenario.graph, scenario.origin_asn)
+        resets.append((as_a, as_b, chaos_start + 2100.0))
+    plan = FaultPlan.standard(
+        intensity,
+        seed=seed + 1,
+        start=chaos_start,
+        end=chaos_end,
+        crashes=crashes,
+        resets=resets,
+    )
+    injector = FaultInjector(plan)
+    injector.attach(scenario.lifeguard)
+    return scenario, injector

@@ -41,6 +41,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "repaired the outage" in out
 
+    def test_chaos_drill(self, capsys):
+        _run("chaos_drill.py")
+        out = capsys.readouterr().out
+        assert "chaos fault report" in out
+        assert "false poisons: 0" in out
+        assert "repaired and unpoisoned despite the chaos." in out
+
     def test_reverse_traceroute_demo(self, capsys):
         _run("reverse_traceroute_demo.py")
         out = capsys.readouterr().out

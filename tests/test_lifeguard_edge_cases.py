@@ -2,11 +2,34 @@
 
 import pytest
 
-from repro.control.lifeguard import RepairState
+from repro.control.lifeguard import OperatingMode, RepairState
 from repro.dataplane.failures import ASForwardingFailure
+from repro.faults import FaultKind, FaultSpec
 from repro.measure.atlas import AtlasRefresher, PathAtlas
+from repro.measure.monitor import MonitorEvent
 from repro.topology.generate import prefix_for_asn
-from repro.workloads.scenarios import build_deployment
+from repro.workloads.scenarios import (
+    build_chaos_deployment,
+    build_deployment,
+)
+
+
+def _first_transit_on_reverse_path(scenario):
+    """The first transit AS on the target->origin path (demo's ground
+    truth recipe)."""
+    lifeguard = scenario.lifeguard
+    topo = scenario.topo
+    target = scenario.targets[0]
+    origin_router = topo.routers_of(scenario.origin_asn)[0]
+    target_rid = lifeguard.dataplane.host_router(target)
+    walk = lifeguard.dataplane.forward(
+        target_rid, topo.router(origin_router).address
+    )
+    return next(
+        a
+        for a in walk.as_level_hops(topo)[1:-1]
+        if a != scenario.origin_asn
+    )
 
 
 class TestNoAlternateDecision:
@@ -68,6 +91,112 @@ class TestNoAlternateDecision:
             if r.poisoned_asn == target_asn
         ]
         assert not poisons_of_target
+
+
+class TestDegradedOperation:
+    def test_vp_down_rounds_produce_no_outage(self):
+        """A dead vantage point must not manufacture outages: its pairs
+        report VP_DOWN and the failure is only detected once it restarts."""
+        scenario, injector = build_chaos_deployment(
+            scale="tiny", seed=0, intensity=0.0,
+            crash_helper=False, reset_session=False, num_providers=2,
+        )
+        lifeguard = scenario.lifeguard
+        lifeguard.prime_atlas(now=0.0)
+        bad_asn = _first_transit_on_reverse_path(scenario)
+        injector.plan.add(
+            FaultSpec(FaultKind.VP_CRASH, vp="origin", start=0.0, end=1500.0)
+        )
+        # A real failure on the origin's reverse paths, active throughout.
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=500.0,
+            )
+        )
+        lifeguard.run(start=30.0, end=1440.0)
+        assert lifeguard.mode is OperatingMode.DEGRADED
+        events = lifeguard.monitor.run_round(1440.0)
+        assert MonitorEvent.VP_DOWN in events.values()
+        assert MonitorEvent.OUTAGE_STARTED not in events.values()
+        assert lifeguard.monitor.outages == []
+        # Once the VP restarts, live rounds rebuild the failure streak and
+        # detection fires for real.
+        lifeguard.run(start=1530.0, end=3000.0)
+        assert lifeguard.mode is OperatingMode.NORMAL
+        assert lifeguard.monitor.outages
+        assert all(
+            o.vp_name == "origin" for o in lifeguard.monitor.outages
+        )
+
+    def test_low_confidence_isolation_defers_then_gives_up(self):
+        """With every helper down, isolation confidence stays below the
+        poisoning threshold: the loop defers, retries, and after the
+        budget runs dry concludes NOT_POISONED — it never acts on thin
+        evidence."""
+        scenario = build_deployment(scale="tiny", seed=0, num_providers=2)
+        lifeguard = scenario.lifeguard
+        lifeguard.prime_atlas(now=0.0)
+        bad_asn = _first_transit_on_reverse_path(scenario)
+        for vp in scenario.vantage_points:
+            if vp.name != "origin":
+                scenario.vantage_points.mark_down(vp.name)
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=500.0,
+            )
+        )
+        lifeguard.run(start=30.0, end=3000.0)
+        assert lifeguard.mode is OperatingMode.DEGRADED
+        assert not lifeguard.poisoned_records()
+        record = next(
+            r for r in lifeguard.records if r.outage.vp_name == "origin"
+        )
+        assert record.isolation is not None
+        assert record.isolation.confidence < lifeguard.config.min_confidence
+        assert any("deferring poisoning" in note for note in record.notes)
+        assert record.state is RepairState.NOT_POISONED
+        assert any("retry budget" in note for note in record.notes)
+
+    def test_sentinel_false_negatives_delay_but_never_falsify_repair(self):
+        """Lost sentinel replies postpone repair detection; they never
+        trigger a premature unpoison, and once the loss clears the poison
+        is withdrawn normally."""
+        scenario, injector = build_chaos_deployment(
+            scale="tiny", seed=0, intensity=0.0,
+            crash_helper=False, reset_session=False, num_providers=2,
+        )
+        lifeguard = scenario.lifeguard
+        lifeguard.prime_atlas(now=0.0)
+        bad_asn = _first_transit_on_reverse_path(scenario)
+        injector.plan.add(
+            FaultSpec(
+                FaultKind.SENTINEL_FALSE_NEGATIVE,
+                rate=1.0, start=0.0, end=6000.0,
+            )
+        )
+        # The underlying failure is genuinely repaired at t=3000 -- but
+        # every sentinel reply is suppressed until t=6000.
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=500.0, end=3000.0,
+            )
+        )
+        lifeguard.run(start=30.0, end=9000.0)
+        record = next(
+            r for r in lifeguard.records if r.poisoned_asn == bad_asn
+        )
+        assert lifeguard.sentinel_manager.replies_suppressed > 0
+        assert record.state is RepairState.UNPOISONED
+        assert record.repair_detected_time is not None
+        # Detection waited out the suppression window instead of firing
+        # on a lucky (or faked) early check.
+        assert record.repair_detected_time > 6000.0
 
 
 class TestIncrementalAtlasMode:

@@ -13,10 +13,14 @@ from repro.bgp.messages import (
     unique_ases,
 )
 from repro.control.decision import ResidualDurationModel
+from repro.dataplane.failures import ASForwardingFailure
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.faults.plan import STOCHASTIC_KINDS
 from repro.net.addr import Address, Prefix
 from repro.net.trie import PrefixTrie
 from repro.splice.three_tuple import TripleSet
 from repro.topology.relationships import Relationship, is_valley_free
+from repro.workloads.scenarios import build_deployment
 
 addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
 prefix_lengths = st.integers(min_value=0, max_value=32)
@@ -197,6 +201,103 @@ class TestCDFProperties:
     def test_percentile_within_range(self, values):
         cdf = CDF(values)
         assert min(values) <= cdf.median <= max(values)
+
+
+@st.composite
+def null_fault_plans(draw):
+    """Arbitrary fault plans whose every spec is stochastic at rate 0."""
+    kinds = sorted(STOCHASTIC_KINDS, key=lambda k: k.value)
+    specs = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(kinds))
+        start = draw(
+            st.floats(min_value=0.0, max_value=2400.0, allow_nan=False)
+        )
+        span = draw(
+            st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+        )
+        specs.append(FaultSpec(kind, start=start, end=start + span, rate=0.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return FaultPlan(specs, seed=seed)
+
+
+class TestNullFaultPlanIdentity:
+    """Attaching ANY intensity-0 fault plan is observationally absent: the
+    full repair run — every probe count, outage boundary, record note and
+    timestamp — is byte-identical to a run with no injector at all.  This
+    is the property that makes chaos sweeps trustworthy: intensity is the
+    only thing that varies along the axis."""
+
+    _baseline = None
+
+    @staticmethod
+    def _fingerprint(injector=None):
+        scenario = build_deployment(scale="tiny", seed=7, num_providers=2)
+        lifeguard = scenario.lifeguard
+        if injector is not None:
+            injector.attach(lifeguard)
+        lifeguard.prime_atlas(now=0.0)
+        topo = scenario.topo
+        target = scenario.targets[0]
+        origin_router = topo.routers_of(scenario.origin_asn)[0]
+        walk = lifeguard.dataplane.forward(
+            lifeguard.dataplane.host_router(target),
+            topo.router(origin_router).address,
+        )
+        bad_asn = next(
+            a
+            for a in walk.as_level_hops(topo)[1:-1]
+            if a != scenario.origin_asn
+        )
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=500.0,
+                end=2000.0,
+            )
+        )
+        lifeguard.run(start=30.0, end=2400.0)
+        return repr(
+            (
+                lifeguard.prober.probes_sent,
+                lifeguard.prober.probes_lost_to_faults,
+                lifeguard.prober.retries_used,
+                [
+                    (o.vp_name, str(o.destination), o.start, o.detected,
+                     o.end)
+                    for o in lifeguard.monitor.outages
+                ],
+                [
+                    (
+                        r.outage.vp_name,
+                        str(r.outage.destination),
+                        r.state.value,
+                        r.poisoned_asn,
+                        r.poison_time,
+                        r.repair_detected_time,
+                        r.unpoison_time,
+                        tuple(r.notes),
+                    )
+                    for r in lifeguard.records
+                ],
+                lifeguard.engine.now,
+            )
+        ).encode()
+
+    @classmethod
+    def baseline(cls):
+        if cls._baseline is None:
+            cls._baseline = cls._fingerprint()
+        return cls._baseline
+
+    @settings(max_examples=5, deadline=None)
+    @given(null_fault_plans())
+    def test_null_plan_run_is_byte_identical(self, plan):
+        assert plan.is_null
+        injector = FaultInjector(plan)
+        assert self._fingerprint(injector) == self.baseline()
+        assert injector.stats.total_events == 0
 
 
 class TestResidualModelProperties:
