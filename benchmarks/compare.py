@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two BENCH JSON documents and gate on throughput regressions.
+
+Usage::
+
+    python benchmarks/compare.py baseline.json candidate.json \
+        [--max-regression 0.25]
+
+Prints a per-benchmark table of wall time, throughput and headline-metric
+drift, then exits 1 if any benchmark present in both documents lost more
+than ``--max-regression`` of its baseline trials/sec.  Benchmarks that
+appear on only one side are reported but never gate (suites are allowed
+to grow).  Headline-metric drift is informational: determinism changes
+show up here, but noisy CI clocks do not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+#: BENCH document schema this script understands.
+SUPPORTED_SCHEMA = 1
+
+#: Benchmarks faster than this on either side are pure scheduler noise
+#: (fork overhead dwarfs the work), so they are reported but not gated.
+MIN_GATED_SECONDS = 0.5
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    schema = doc.get("schema_version")
+    if schema != SUPPORTED_SCHEMA:
+        raise SystemExit(
+            f"{path}: unsupported schema_version {schema!r} "
+            f"(expected {SUPPORTED_SCHEMA})"
+        )
+    if "benchmarks" not in doc:
+        raise SystemExit(f"{path}: missing 'benchmarks' section")
+    return doc
+
+
+def _fmt(value: float) -> str:
+    return f"{value:,.2f}"
+
+
+def compare(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    max_regression: float,
+) -> int:
+    """Print the comparison; return the number of gating regressions."""
+    base_benchmarks = baseline["benchmarks"]
+    cand_benchmarks = candidate["benchmarks"]
+    shared = [n for n in base_benchmarks if n in cand_benchmarks]
+
+    header = (
+        f"{'benchmark':<16} {'base t/s':>10} {'cand t/s':>10} "
+        f"{'change':>8}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    regressions = 0
+    for name in shared:
+        base_tps = base_benchmarks[name]["trials_per_sec"]
+        cand_tps = cand_benchmarks[name]["trials_per_sec"]
+        change = (cand_tps - base_tps) / base_tps if base_tps else 0.0
+        too_fast = (
+            base_benchmarks[name]["wall_seconds"] < MIN_GATED_SECONDS
+            or cand_benchmarks[name]["wall_seconds"] < MIN_GATED_SECONDS
+        )
+        regressed = change < -max_regression and not too_fast
+        if regressed:
+            regressions += 1
+        if too_fast:
+            verdict = "not gated (sub-%.1fs run)" % MIN_GATED_SECONDS
+        else:
+            verdict = "REGRESSED" if regressed else "ok"
+        print(
+            f"{name:<16} {_fmt(base_tps):>10} {_fmt(cand_tps):>10} "
+            f"{change:>+7.1%}  {verdict}"
+        )
+    for name in base_benchmarks:
+        if name not in cand_benchmarks:
+            print(f"{name:<16} missing from candidate (not gated)")
+    for name in cand_benchmarks:
+        if name not in base_benchmarks:
+            print(f"{name:<16} new in candidate (not gated)")
+
+    drift = []
+    for name in shared:
+        base_metrics = base_benchmarks[name].get("metrics", {})
+        cand_metrics = cand_benchmarks[name].get("metrics", {})
+        for key in sorted(set(base_metrics) & set(cand_metrics)):
+            if base_metrics[key] != cand_metrics[key]:
+                drift.append(
+                    f"  {name}.{key}: {base_metrics[key]} -> "
+                    f"{cand_metrics[key]}"
+                )
+    if drift:
+        print("\nheadline-metric drift (informational):")
+        for line in drift:
+            print(line)
+    else:
+        print("\nheadline metrics identical")
+
+    print(
+        f"\n{len(shared)} benchmark(s) compared, {regressions} regressed "
+        f"beyond {max_regression:.0%} "
+        f"(baseline {baseline.get('created', '?')} "
+        f"vs candidate {candidate.get('created', '?')})"
+    )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline BENCH JSON")
+    parser.add_argument("candidate", help="freshly produced BENCH JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional trials/sec loss per benchmark "
+             "(default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_bench(args.baseline)
+    candidate = load_bench(args.candidate)
+    regressions = compare(baseline, candidate, args.max_regression)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,7 @@ each style delivers exactly its promised properties.
 import pytest
 
 from repro.analysis.reporting import Table
-from repro.bgp.messages import make_path
 from repro.control.sentinel import SentinelManager, SentinelStyle
-from repro.dataplane.fib import build_fibs
 from repro.dataplane.probes import Prober
 from repro.net.addr import Prefix
 from repro.workloads.scenarios import build_deployment

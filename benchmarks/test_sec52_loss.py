@@ -5,7 +5,6 @@ convergence was under 1%; 98% stayed under 2%; only 2% of poisonings had
 any 10-second round above 10% loss.  Working routes are barely disturbed.
 """
 
-from repro.analysis.loss import ConvergenceLossReplay
 from repro.analysis.reporting import Table
 
 

@@ -13,7 +13,6 @@ from repro.analysis.reporting import Table
 from repro.bgp.engine import BGPEngine, EngineConfig
 from repro.bgp.messages import make_path
 from repro.bgp.policy import SpeakerConfig
-from repro.topology.generate import generate_multihomed_origin
 from repro.workloads.scenarios import build_internet
 
 

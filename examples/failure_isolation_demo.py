@@ -12,13 +12,8 @@ Run:  python examples/failure_isolation_demo.py
 """
 
 from repro.dataplane.failures import ASForwardingFailure
-from repro.dataplane.probes import Prober
 from repro.isolation.direction import FailureDirection
-from repro.isolation.horizon import HopStatus
 from repro.isolation.isolator import FailureIsolator
-from repro.measure.atlas import AtlasRefresher, PathAtlas
-from repro.measure.responsiveness import ResponsivenessDB
-from repro.measure.vantage import VantageSet
 from repro.topology.generate import prefix_for_asn
 from repro.workloads.scenarios import build_deployment
 

@@ -48,7 +48,6 @@ def main():
         peer: collector.path_of(peer, prefix)
         for peer in collector.peers
     }
-    first_link_before = (target_asn, used[-1] if used else None)
 
     print(f"origin AS{origin} providers: AS{provider_a}, AS{provider_b}")
     print(f"target AS{target_asn} currently reaches {prefix} via "
@@ -56,7 +55,6 @@ def main():
     print(f"\nselectively poisoning AS{target_asn} on announcements via "
           f"AS{poisoned_provider} (clean via AS{clean_provider})...\n")
 
-    event_time = engine.now
     controller.poison_selectively(
         target_asn, via_providers=[poisoned_provider]
     )

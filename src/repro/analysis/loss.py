@@ -12,7 +12,7 @@ the fraction of sources that failed.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.engine import BGPEngine

@@ -15,9 +15,9 @@ to the last across all peers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.bgp.engine import BGPEngine, RouteChange
+from repro.bgp.engine import BGPEngine
 from repro.bgp.messages import ASPath
 from repro.net.addr import Prefix
 

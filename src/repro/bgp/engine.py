@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.bgp.messages import Announcement, ASPath, Withdrawal
@@ -125,6 +125,16 @@ class BGPEngine:
                 f"event scheduled in the past ({time} < {self.now})"
             )
         heapq.heappush(self._queue, (time, next(self._seq), event))
+
+    def reseed(self, seed: int) -> None:
+        """Replace the engine's RNG stream (timing jitter draws).
+
+        Trial runners call this on a restored snapshot so each trial's
+        message/processing delays flow from its own derived seed instead
+        of continuing whichever stream the snapshot froze — the property
+        that makes trial results independent of execution order.
+        """
+        self._rng = random.Random(seed)
 
     def _link_delay(self) -> float:
         return self._rng.uniform(

@@ -8,7 +8,9 @@ paper-vs-measured tables the benchmarks archive.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from datetime import date
 from typing import List, Optional
 
 from repro.analysis.reporting import Table
@@ -54,7 +56,8 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     )
 
     study, _graph = run_poisoning_convergence_study(
-        scale=args.scale, seed=args.seed, max_poisons=args.max_poisons
+        scale=args.scale, seed=args.seed, max_poisons=args.max_poisons,
+        workers=args.workers,
     )
     table = Table(
         "Fig. 6: convergence after poisoning",
@@ -81,7 +84,8 @@ def _cmd_efficacy(args: argparse.Namespace) -> int:
     from repro.experiments.efficacy import run_topology_efficacy_study
 
     study, _graph = run_topology_efficacy_study(
-        scale=args.scale, seed=args.seed, max_cases=args.max_cases
+        scale=args.scale, seed=args.seed, max_cases=args.max_cases,
+        workers=args.workers,
     )
     table = Table("Sec 5.1: simulated poisoning efficacy",
                   ["metric", "value"])
@@ -97,7 +101,7 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
 
     study, _scenario = run_isolation_accuracy_study(
         scale=args.scale, seed=args.seed, num_cases=args.cases,
-        reply_loss_rate=0.05,
+        reply_loss_rate=0.05, workers=args.workers,
     )
     table = Table("Sec 5.3: isolation accuracy", ["metric", "value"])
     table.add_row("cases", len(study.cases))
@@ -183,6 +187,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         intensities=intensities,
         num_outages=args.outages,
+        workers=args.workers,
     )
     table = Table(
         "Chaos: repair under infrastructure faults",
@@ -208,6 +213,45 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import run_bench_suite
+
+    doc = run_bench_suite(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        only=args.only or None,
+        cache=args.cache_dir,
+    )
+    output = args.output or f"BENCH_{date.today().isoformat()}.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    table = Table(
+        f"Benchmark suite ({doc['scale']}, {doc['workers']} workers)",
+        ["benchmark", "wall (s)", "trials", "trials/s"],
+    )
+    for name, bench in doc["benchmarks"].items():
+        table.add_row(
+            name, bench["wall_seconds"], bench["trials"],
+            bench["trials_per_sec"],
+        )
+    totals = doc["totals"]
+    table.add_row(
+        "TOTAL", totals["wall_seconds"], totals["trials"],
+        totals["trials_per_sec"],
+    )
+    hit_rate = totals["cache_hit_rate"]
+    cache_note = (
+        "cache disabled" if hit_rate is None
+        else f"cache hit rate {hit_rate:.0%}"
+    )
+    table.add_note(f"{cache_note}; written to {output}")
+    table.emit()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lifeguard-repro",
@@ -225,14 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig6", help="poisoning convergence study")
     p.add_argument("--scale", default="small")
     p.add_argument("--max-poisons", type=int, default=10)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_fig6)
     p = sub.add_parser("efficacy", help="simulated poisoning efficacy")
     p.add_argument("--scale", default="medium")
     p.add_argument("--max-cases", type=int, default=30000)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_efficacy)
     p = sub.add_parser("accuracy", help="isolation accuracy study")
     p.add_argument("--scale", default="small")
     p.add_argument("--cases", type=int, default=40)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_accuracy)
     sub.add_parser("table2", help="update-load model").set_defaults(
         func=_cmd_table2
@@ -251,7 +298,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="fault intensity in [0, 1] (repeatable; default 0.0 0.1 0.3)",
     )
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_chaos)
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark suite and write BENCH_<date>.json",
+    )
+    p.add_argument("--scale", default="small")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--output", default=None,
+        help="output path (default BENCH_<date>.json in the cwd)",
+    )
+    p.add_argument(
+        "--only",
+        action="append",
+        help="run just the named benchmark (repeatable)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="topology/convergence cache directory "
+             "(default: $REPRO_CACHE_DIR, unset = no cache)",
+    )
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.bgp.engine import BGPEngine
 from repro.bgp.origin import OriginController
@@ -27,7 +27,6 @@ from repro.dataplane.forwarding import DataPlane
 from repro.dataplane.probes import Prober
 from repro.errors import ControlError, DegradedError, RetryExhausted
 from repro.faults.injector import RetryBudget
-from repro.isolation.direction import FailureDirection
 from repro.isolation.isolator import FailureIsolator, IsolationResult
 from repro.measure.atlas import AtlasRefresher, PathAtlas
 from repro.measure.monitor import OutageRecord, PingMonitor

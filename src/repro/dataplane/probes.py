@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.dataplane.forwarding import DataPlane, ForwardOutcome, ForwardResult
-from repro.errors import MeasurementError
 from repro.net.addr import Address
 
 #: Real traceroute gives up after a run of silent hops; so do we.
@@ -123,6 +122,15 @@ class Prober:
         self.retries_used = 0
         #: cumulative backoff the retries would have waited (seconds).
         self.retry_wait_seconds = 0.0
+
+    def reseed(self, seed: int) -> None:
+        """Replace the prober's RNG stream (reply-loss draws).
+
+        Per-trial experiment runners call this so each trial's probe
+        noise flows from its own derived seed, independent of how many
+        probes earlier trials issued.
+        """
+        self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
     # Internals

@@ -180,7 +180,6 @@ class ReverseTracerouteTool:
         vantage_points: List[str],
     ) -> List[Address]:
         """One RR round: reply-side stamps past *frontier* toward S."""
-        topo = self.dataplane.topo
         # Order vantage points by distance to the frontier; only those
         # within 8 hops leave RR slots for the reply direction.
         candidates = []

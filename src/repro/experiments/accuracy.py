@@ -16,13 +16,17 @@ feed the §5.4 scalability results.
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dataplane.failures import ASForwardingFailure
 from repro.isolation.direction import FailureDirection
-from repro.isolation.isolator import FailureIsolator, IsolationResult
+from repro.isolation.isolator import IsolationResult
+from repro.runner.cache import resolve_cache
+from repro.runner.core import derive_seed, run_trials
+from repro.runner.stats import RunStats
 from repro.topology.generate import prefix_for_asn
 from repro.workloads.scenarios import DeploymentScenario, build_deployment
 
@@ -134,6 +138,9 @@ def run_isolation_accuracy_study(
     num_cases: int = 60,
     direction_mix: Tuple[float, float] = (0.35, 0.90),
     reply_loss_rate: float = 0.0,
+    workers: int = 1,
+    cache=None,
+    stats: Optional[RunStats] = None,
 ) -> Tuple[AccuracyStudy, DeploymentScenario]:
     """Inject failures and isolate each one.
 
@@ -142,74 +149,108 @@ def run_isolation_accuracy_study(
     population of isolated outages.  *reply_loss_rate* injects random
     probe-reply loss (ICMP rate limiting), the measurement noise that
     kept the paper's consistency below 100%.
+
+    Every injection attempt *k* runs on its own copy of the primed
+    deployment with RNGs derived from ``(seed, k)`` and a fixed clock
+    slot, so attempt outcomes are independent of each other and of the
+    worker count.  Attempts are issued in rounds (first round twice the
+    requested case count, then one count per round up to the classic
+    ``5 * num_cases`` cap) and the study keeps the first *num_cases*
+    successful injections in attempt order — the same cases whether the
+    rounds ran serially or across processes.
     """
+    stats = stats if stats is not None else RunStats()
+    cache = resolve_cache(cache, stats)
     scenario = build_deployment(
         scale=scale, seed=seed, num_providers=2,
-        num_helper_vps=6, num_targets=6,
+        num_helper_vps=6, num_targets=6, cache=cache, stats=stats,
     )
+    scenario.lifeguard.prime_atlas(now=0.0)
+    scenario.lifeguard.prober.reply_loss_rate = reply_loss_rate
+    with stats.timer("accuracy.snapshot"):
+        snapshot = pickle.dumps(scenario, protocol=pickle.HIGHEST_PROTOCOL)
+    context = (snapshot, seed, direction_mix)
+
+    study = AccuracyStudy()
+    max_attempts = num_cases * 5
+    next_attempt = 0
+    round_size = num_cases * 2
+    while len(study.cases) < num_cases and next_attempt < max_attempts:
+        batch = list(
+            range(next_attempt, min(next_attempt + round_size, max_attempts))
+        )
+        next_attempt = batch[-1] + 1
+        round_size = num_cases
+        results = run_trials(
+            _attempt_worker,
+            batch,
+            context=context,
+            workers=workers,
+            stats=stats,
+            label="accuracy",
+            chunks_per_worker=1,
+        )
+        study.cases.extend(case for case in results if case is not None)
+    del study.cases[num_cases:]
+    stats.count("accuracy.attempts", next_attempt)
+    return study, scenario
+
+
+def _attempt_worker(context, attempt: int) -> Optional[FailureCase]:
+    """One injection attempt on a private copy of the deployment."""
+    snapshot, master_seed, direction_mix = context
+    scenario = pickle.loads(snapshot)
     lifeguard = scenario.lifeguard
     topo = scenario.topo
-    lifeguard.prime_atlas(now=0.0)
-    lifeguard.prober.reply_loss_rate = reply_loss_rate
-    rng = random.Random(seed)
-    study = AccuracyStudy()
+    rng = random.Random(derive_seed(master_seed, "accuracy", attempt))
+    lifeguard.prober.reseed(
+        derive_seed(master_seed, "accuracy-probe", attempt)
+    )
     exclude = {scenario.origin_asn}
     origin_rid = topo.routers_of(scenario.origin_asn)[0]
     origin_addr = topo.router(origin_rid).address
-    now = 1000.0
+    now = 1000.0 + attempt * 4000.0
 
-    attempts = 0
-    while len(study.cases) < num_cases and attempts < num_cases * 5:
-        attempts += 1
-        target = rng.choice(scenario.targets)
-        target_asn = topo.router_by_address(target).asn
-        target_rid = lifeguard.dataplane.host_router(target)
-        draw = rng.random()
-        if draw < direction_mix[0]:
-            direction = FailureDirection.REVERSE
-        elif draw < direction_mix[1]:
-            direction = FailureDirection.FORWARD
-        else:
-            direction = FailureDirection.BIDIRECTIONAL
+    target = rng.choice(scenario.targets)
+    target_asn = topo.router_by_address(target).asn
+    target_rid = lifeguard.dataplane.host_router(target)
+    draw = rng.random()
+    if draw < direction_mix[0]:
+        direction = FailureDirection.REVERSE
+    elif draw < direction_mix[1]:
+        direction = FailureDirection.FORWARD
+    else:
+        direction = FailureDirection.BIDIRECTIONAL
 
-        skip = exclude | {target_asn}
-        if direction is FailureDirection.REVERSE:
-            transits = _transits_on(scenario, target_rid, origin_addr, skip)
-        else:
-            transits = _transits_on(
-                scenario, origin_rid, target, skip
-            )
-        if not transits:
-            continue
-        bad_asn = rng.choice(transits)
-        toward = (
-            None
-            if direction is FailureDirection.BIDIRECTIONAL
-            else prefix_for_asn(scenario.origin_asn)
-            if direction is FailureDirection.REVERSE
-            else prefix_for_asn(target_asn)
-        )
-        failure = ASForwardingFailure(
-            asn=bad_asn, toward=toward, start=now, end=now + 3600.0
-        )
-        lifeguard.dataplane.failures.add(failure)
-        lifeguard.dataplane.now = now + 120.0
+    skip = exclude | {target_asn}
+    if direction is FailureDirection.REVERSE:
+        transits = _transits_on(scenario, target_rid, origin_addr, skip)
+    else:
+        transits = _transits_on(scenario, origin_rid, target, skip)
+    if not transits:
+        return None
+    bad_asn = rng.choice(transits)
+    toward = (
+        None
+        if direction is FailureDirection.BIDIRECTIONAL
+        else prefix_for_asn(scenario.origin_asn)
+        if direction is FailureDirection.REVERSE
+        else prefix_for_asn(target_asn)
+    )
+    failure = ASForwardingFailure(
+        asn=bad_asn, toward=toward, start=now, end=now + 3600.0
+    )
+    lifeguard.dataplane.failures.add(failure)
+    lifeguard.dataplane.now = now + 120.0
 
-        # Only isolate if the failure actually broke this vp->target pair.
-        if lifeguard.prober.ping(origin_rid, target).success:
-            lifeguard.dataplane.failures.remove(failure)
-            now += 4000.0
-            continue
-        case = FailureCase(
-            vp_name="origin",
-            target_asn=target_asn,
-            true_asn=bad_asn,
-            true_direction=direction,
-        )
-        case.result = lifeguard.isolator.isolate(
-            "origin", target, now + 120.0
-        )
-        study.cases.append(case)
-        lifeguard.dataplane.failures.remove(failure)
-        now += 4000.0
-    return study, scenario
+    # Only isolate if the failure actually broke this vp->target pair.
+    if lifeguard.prober.ping(origin_rid, target).success:
+        return None
+    case = FailureCase(
+        vp_name="origin",
+        target_asn=target_asn,
+        true_asn=bad_asn,
+        true_direction=direction,
+    )
+    case.result = lifeguard.isolator.isolate("origin", target, now + 120.0)
+    return case

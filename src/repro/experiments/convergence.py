@@ -19,11 +19,20 @@ from repro.bgp.collectors import PeerConvergence, RouteCollector
 from repro.bgp.engine import BGPEngine, EngineConfig
 from repro.bgp.messages import make_path, traversed_ases
 from repro.net.addr import Prefix
-from repro.topology.generate import generate_multihomed_origin
-from repro.workloads.scenarios import build_internet
+from repro.runner.baseline import converged_internet, restore_snapshot
+from repro.runner.cache import resolve_cache
+from repro.runner.core import derive_seed, run_trials
+from repro.runner.stats import RunStats
 
 #: Idle gap between experiments so convergence windows never overlap.
 EXPERIMENT_GAP = 400.0
+
+#: Each trial owns a slot in the shared experiment timeline: trial *i*
+#: starts at ``snapshot + (i + 1) * TRIAL_WINDOW``.  The one-slot lead-in
+#: puts every trial far past the initial convergence's MRAI timers (so a
+#: trial's behaviour cannot depend on its slot number), and distinct
+#: slots keep recorded event times monotonic across the study.
+TRIAL_WINDOW = 10_000.0
 
 
 @dataclass
@@ -183,6 +192,9 @@ def run_poisoning_convergence_study(
     measure_loss: bool = True,
     exclude_tier1: bool = True,
     mrai: float = 30.0,
+    workers: int = 1,
+    cache=None,
+    stats: Optional[RunStats] = None,
 ) -> Tuple[ConvergenceStudy, object]:
     """Run the full study; returns (study, graph).
 
@@ -190,21 +202,29 @@ def run_poisoning_convergence_study(
     model).  Tier-1 ASes and the origin's provider are excluded from
     poisoning, as in the paper (§5, which excluded tier-1s and Cogent).
     *mrai* sets the per-session announcement rate limit (ablation knob).
+
+    Each (baseline, poisoned AS) trial runs on its own copy of the
+    converged control plane with an RNG derived from
+    ``(seed, baseline, poisoned AS)``, so trials are independent of one
+    another and of execution order — *workers* processes produce results
+    byte-identical to a serial run.
     """
-    graph, _shape = build_internet(scale, seed)
-    rng = random.Random(seed)
-    origin_asn = generate_multihomed_origin(
-        graph, num_providers=1, seed=seed
+    stats = stats if stats is not None else RunStats()
+    cache = resolve_cache(cache, stats)
+    base = converged_internet(
+        scale,
+        seed,
+        engine_config=EngineConfig(seed=seed, mrai=mrai),
+        origin_providers=1,
+        cache=cache,
+        stats=stats,
     )
+    graph, origin_asn = base.graph, base.origin_asn
+    rng = random.Random(seed)
     provider = graph.providers(origin_asn)[0]
     prefix = graph.node(origin_asn).prefixes[0]
-
-    engine = BGPEngine(graph, EngineConfig(seed=seed, mrai=mrai))
-    for node in graph.nodes():
-        for node_prefix in node.prefixes:
-            if node.asn != origin_asn:
-                engine.originate(node.asn, node_prefix)
-    engine.run()
+    with stats.timer("convergence.snapshot"):
+        snapshot = base.snapshot()
 
     # Route-collector peers: every transit AS plus a sample of stubs.
     transit = [a for a in graph.transit_ases() if a != provider]
@@ -212,50 +232,68 @@ def run_poisoning_convergence_study(
     rng.shuffle(stubs)
     peers = set(transit[: num_collector_peers // 2])
     peers.update(stubs[: num_collector_peers - len(peers)])
-    collector = RouteCollector(engine, peers)
 
     exclude = {origin_asn, provider}
     if exclude_tier1:
         exclude.update(n.asn for n in graph.nodes() if n.tier == 1)
 
-    study = ConvergenceStudy(
-        origin_asn=origin_asn, prefix=prefix, collector_peers=peers
-    )
-
-    # Announce once so candidates can be harvested from real paths.
-    engine.originate(origin_asn, prefix, path=make_path(origin_asn))
-    engine.run()
-    candidates = _harvest_poison_candidates(
-        engine, collector, prefix, origin_asn, exclude
-    )
+    # Announce once, on a throwaway copy, so candidates can be harvested
+    # from real collector-peer paths.
+    with stats.timer("convergence.harvest"):
+        probe_engine, _ = restore_snapshot(snapshot)
+        probe_collector = RouteCollector(probe_engine, peers)
+        probe_engine.originate(
+            origin_asn, prefix, path=make_path(origin_asn)
+        )
+        probe_engine.run()
+        candidates = _harvest_poison_candidates(
+            probe_engine, probe_collector, prefix, origin_asn, exclude
+        )
     # Only transit ASes are worth poisoning (stubs don't carry traffic).
     candidates = [a for a in candidates if not graph.is_stub(a)]
     if max_poisons is not None:
         candidates = candidates[:max_poisons]
 
-    for prepended in (True, False):
-        prepend = 3 if prepended else 1
-        for poisoned in candidates:
-            _run_one_trial(
-                engine, graph, collector, study, prefix, origin_asn,
-                poisoned, prepend, prepended, measure_loss,
-            )
+    study = ConvergenceStudy(
+        origin_asn=origin_asn, prefix=prefix, collector_peers=peers
+    )
+    units = [
+        (index, poisoned, prepended)
+        for index, (prepended, poisoned) in enumerate(
+            (p, c) for p in (True, False) for c in candidates
+        )
+    ]
+    context = (
+        snapshot, tuple(sorted(peers)), origin_asn, prefix, measure_loss,
+        seed,
+    )
+    study.trials.extend(
+        run_trials(
+            _trial_worker,
+            units,
+            context=context,
+            workers=workers,
+            stats=stats,
+            label="convergence",
+            chunks_per_worker=2,
+        )
+    )
     return study, graph
 
 
-def _run_one_trial(
-    engine: BGPEngine,
-    graph,
-    collector: RouteCollector,
-    study: ConvergenceStudy,
-    prefix: Prefix,
-    origin_asn: int,
-    poisoned: int,
-    prepend: int,
-    prepended: bool,
-    measure_loss: bool,
-) -> None:
-    # (Re-)announce the baseline and let everything settle.
+def _trial_worker(context, unit) -> PoisonTrial:
+    """One (baseline, poisoned AS) trial on a private engine copy."""
+    snapshot, peers, origin_asn, prefix, measure_loss, master_seed = context
+    index, poisoned, prepended = unit
+    engine, _ = restore_snapshot(snapshot)
+    engine.reseed(
+        derive_seed(master_seed, "convergence-trial", prepended, poisoned)
+    )
+    engine.advance_to(engine.now + (index + 1) * TRIAL_WINDOW)
+    collector = RouteCollector(engine, peers)
+    prepend = 3 if prepended else 1
+
+    # Announce the baseline and let everything settle.
     engine.originate(
         origin_asn, prefix, path=make_path(origin_asn, prepend=prepend)
     )
@@ -299,10 +337,4 @@ def _run_one_trial(
         trial.loss_max_bin = replay.max_bin_loss_rate(
             sources, event_time, window_end
         )
-    study.trials.append(trial)
-    # Revert to the clean baseline for the next candidate.
-    engine.originate(
-        origin_asn, prefix, path=make_path(origin_asn, prepend=prepend)
-    )
-    engine.run()
-    engine.advance_to(engine.now + EXPERIMENT_GAP)
+    return trial

@@ -16,14 +16,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.bgp.engine import BGPEngine, EngineConfig
-from repro.bgp.messages import make_path, traversed_ases, unique_ases
+from repro.bgp.engine import BGPEngine
+from repro.bgp.messages import traversed_ases, unique_ases
 from repro.bgp.origin import OriginController
-from repro.net.addr import Prefix
-from repro.topology.generate import generate_multihomed_origin
-from repro.workloads.scenarios import build_internet
+from repro.runner.baseline import converged_internet, restore_snapshot
+from repro.runner.cache import resolve_cache
+from repro.runner.core import derive_seed, run_trials
+from repro.runner.stats import RunStats
 
 
 @dataclass
@@ -85,23 +86,34 @@ def run_provider_diversity_study(
     num_providers: int = 5,
     num_feeds: int = 40,
     max_reverse_feeds: Optional[int] = None,
+    workers: int = 1,
+    cache=None,
+    stats: Optional[RunStats] = None,
 ) -> Tuple[DiversityStudy, object]:
-    """Run both halves over one multi-provider origin."""
-    graph, _shape = build_internet(scale, seed)
-    origin_asn = generate_multihomed_origin(
-        graph, num_providers=num_providers, seed=seed
+    """Run both halves over one multi-provider origin.
+
+    The reverse (selective-poisoning) half runs each feed as an
+    independent trial on its own copy of the post-baseline control plane,
+    seeded from ``(seed, feed)`` — parallel across *workers* with results
+    byte-identical to serial.
+    """
+    stats = stats if stats is not None else RunStats()
+    cache = resolve_cache(cache, stats)
+    base = converged_internet(
+        scale,
+        seed,
+        origin_providers=num_providers,
+        cache=cache,
+        stats=stats,
     )
+    graph, engine, origin_asn = base.graph, base.engine, base.origin_asn
     prefix = graph.node(origin_asn).prefixes[0]
-    engine = BGPEngine(graph, EngineConfig(seed=seed))
-    for node in graph.nodes():
-        for node_prefix in node.prefixes:
-            if node.asn != origin_asn:
-                engine.originate(node.asn, node_prefix)
-    engine.run()
 
     controller = OriginController(engine, origin_asn, prefix, prepend=3)
     controller.announce_baseline()
     engine.run()
+    with stats.timer("diversity.snapshot"):
+        snapshot = base.snapshot()
 
     # Feed ASes model the networks peering with route collectors: a mix
     # of transit providers and edge networks of all sizes (the paper's
@@ -135,34 +147,56 @@ def run_provider_diversity_study(
 
     # ------------------------------------------------------------------
     # Reverse half: selective poisoning per (feed, spared provider).
+    # Each feed runs on its own copy of the post-baseline control plane,
+    # so feeds are independent trials and can fan across workers.
     # ------------------------------------------------------------------
     reverse_feeds = feeds if max_reverse_feeds is None else feeds[
         :max_reverse_feeds
     ]
-    for feed in reverse_feeds:
-        baseline = engine.best_route(feed, prefix)
-        if baseline is None:
+    context = (snapshot, origin_asn, prefix, seed)
+    results = run_trials(
+        _reverse_worker,
+        reverse_feeds,
+        context=context,
+        workers=workers,
+        stats=stats,
+        label="diversity",
+        chunks_per_worker=2,
+    )
+    for result in results:
+        if result is None:
             continue
-        base_used = traversed_ases(baseline.as_path, origin_asn)
-        first_link = (feed, base_used[0] if base_used else None)
-        avoided = False
-        for spared in controller.providers:
-            poisoned_via = [
-                p for p in controller.providers if p != spared
-            ]
-            controller.poison_selectively(feed, via_providers=poisoned_via)
-            engine.run()
-            engine.advance_to(engine.now + 60.0)
-            after = engine.best_route(feed, prefix)
-            if after is not None:
-                after_used = traversed_ases(after.as_path, origin_asn)
-                new_link = (feed, after_used[0] if after_used else None)
-                if new_link != first_link:
-                    avoided = True
-            controller.unpoison()
-            engine.run()
-            engine.advance_to(engine.now + 60.0)
-            if avoided:
-                break
+        feed, avoided = result
         study.reverse_avoidable[feed] = avoided
     return study, graph
+
+
+def _reverse_worker(context, feed: int) -> Optional[Tuple[int, bool]]:
+    """Selective-poisoning trial for one feed AS on a private engine."""
+    snapshot, origin_asn, prefix, master_seed = context
+    engine, _ = restore_snapshot(snapshot)
+    engine.reseed(derive_seed(master_seed, "diversity-feed", feed))
+    controller = OriginController(engine, origin_asn, prefix, prepend=3)
+    baseline = engine.best_route(feed, prefix)
+    if baseline is None:
+        return None
+    base_used = traversed_ases(baseline.as_path, origin_asn)
+    first_link = (feed, base_used[0] if base_used else None)
+    avoided = False
+    for spared in controller.providers:
+        poisoned_via = [p for p in controller.providers if p != spared]
+        controller.poison_selectively(feed, via_providers=poisoned_via)
+        engine.run()
+        engine.advance_to(engine.now + 60.0)
+        after = engine.best_route(feed, prefix)
+        if after is not None:
+            after_used = traversed_ases(after.as_path, origin_asn)
+            new_link = (feed, after_used[0] if after_used else None)
+            if new_link != first_link:
+                avoided = True
+        controller.unpoison()
+        engine.run()
+        engine.advance_to(engine.now + 60.0)
+        if avoided:
+            break
+    return feed, avoided

@@ -14,14 +14,16 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.bgp.engine import BGPEngine, EngineConfig
+from repro.bgp.engine import BGPEngine
 from repro.bgp.messages import unique_ases
+from repro.runner.baseline import converged_internet
+from repro.runner.cache import resolve_cache
+from repro.runner.stats import RunStats
 from repro.splice.simulate import (
     PoisonOutcome,
     fraction_with_alternates,
     simulate_poisonings_over_corpus,
 )
-from repro.workloads.scenarios import build_internet
 
 
 @dataclass
@@ -76,22 +78,30 @@ def run_topology_efficacy_study(
     seed: int = 0,
     num_origins: int = 25,
     max_cases: Optional[int] = None,
+    workers: int = 1,
+    cache=None,
+    stats: Optional[RunStats] = None,
 ) -> Tuple[EfficacyStudy, object]:
-    """Build a converged Internet, harvest paths, simulate poisonings."""
-    graph, _shape = build_internet(scale, seed)
-    engine = BGPEngine(graph, EngineConfig(seed=seed))
-    for node in graph.nodes():
-        for prefix in node.prefixes:
-            engine.originate(node.asn, prefix)
-    engine.run()
+    """Build a converged Internet, harvest paths, simulate poisonings.
+
+    The converged control plane is served from the on-disk cache when one
+    is configured; the reachability trials fan out across *workers*
+    processes with results byte-identical to a serial run.
+    """
+    stats = stats if stats is not None else RunStats()
+    cache = resolve_cache(cache, stats)
+    base = converged_internet(scale, seed, cache=cache, stats=stats)
+    graph, engine = base.graph, base.engine
 
     rng = random.Random(seed)
     stubs = graph.stubs()
     rng.shuffle(stubs)
     origins = stubs[:num_origins]
-    corpus = harvest_path_corpus(engine, origins, seed=seed)
+    with stats.timer("efficacy.harvest"):
+        corpus = harvest_path_corpus(engine, origins, seed=seed)
     outcomes = simulate_poisonings_over_corpus(
-        graph, corpus, max_cases=max_cases
+        graph, corpus, max_cases=max_cases, workers=workers, stats=stats
     )
+    stats.count("efficacy.cases", len(outcomes))
     study = EfficacyStudy(outcomes=outcomes, corpus_paths=len(corpus))
     return study, graph

@@ -27,6 +27,9 @@ from repro.control.lifeguard import RepairState
 from repro.dataplane.failures import ASForwardingFailure
 from repro.faults.injector import FaultStats
 from repro.net.addr import Address
+from repro.runner.cache import DiskCache, resolve_cache
+from repro.runner.core import run_trials
+from repro.runner.stats import RunStats
 from repro.splice.reachability import reachable_set_avoiding
 from repro.workloads.scenarios import (
     DeploymentScenario,
@@ -139,10 +142,14 @@ def _true_as_for(
 
 
 def _run_point(
-    scale: str, seed: int, intensity: float, num_outages: int
+    scale: str,
+    seed: int,
+    intensity: float,
+    num_outages: int,
+    cache: Optional[DiskCache] = None,
 ) -> RobustnessPoint:
     scenario, injector = build_chaos_deployment(
-        scale=scale, seed=seed, intensity=intensity
+        scale=scale, seed=seed, intensity=intensity, cache=cache
     )
     lifeguard = scenario.lifeguard
     lifeguard.prime_atlas(now=0.0)
@@ -206,16 +213,36 @@ def _run_point(
     return point
 
 
+def _point_worker(context, intensity: float) -> RobustnessPoint:
+    """One intensity level on its own deployment (trivially independent)."""
+    scale, seed, num_outages, cache_root = context
+    return _run_point(
+        scale, seed, intensity, num_outages, cache=DiskCache.maybe(cache_root)
+    )
+
+
 def run_robustness_study(
     scale: str = "tiny",
     seed: int = 0,
     intensities: Sequence[float] = (0.0, 0.1, 0.3),
     num_outages: int = 3,
+    workers: int = 1,
+    cache=None,
+    stats: Optional[RunStats] = None,
 ) -> RobustnessStudy:
     """Sweep fault intensity; each point is an independent deployment."""
-    study = RobustnessStudy()
-    for intensity in intensities:
-        study.points.append(
-            _run_point(scale, seed, intensity, num_outages)
-        )
-    return study
+    stats = stats if stats is not None else RunStats()
+    cache = resolve_cache(cache, stats)
+    context = (
+        scale, seed, num_outages, cache.root if cache is not None else None,
+    )
+    points = run_trials(
+        _point_worker,
+        list(intensities),
+        context=context,
+        workers=workers,
+        stats=stats,
+        label="robustness",
+        chunks_per_worker=1,
+    )
+    return RobustnessStudy(points=points)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.errors import RetryExhausted
 from repro.faults.plan import FaultKind, FaultPlan

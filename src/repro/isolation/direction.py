@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from repro.dataplane.probes import Prober
 from repro.net.addr import Address

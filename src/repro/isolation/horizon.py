@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 from repro.dataplane.probes import Prober
 from repro.measure.responsiveness import ResponsivenessDB

@@ -21,11 +21,11 @@ real deployment pays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.dataplane.probes import Prober, TracerouteResult
 from repro.dataplane.reverse_traceroute import ReverseTracerouteTool
-from repro.errors import DegradedError, IsolationError
+from repro.errors import DegradedError
 from repro.isolation.direction import DirectionIsolator, FailureDirection
 from repro.isolation.horizon import (
     HopStatus,

@@ -13,7 +13,7 @@ recently seen segments and reusing measurements across converging paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.dataplane.probes import Prober
@@ -255,7 +255,6 @@ class AtlasRefresher:
         """Re-measure forward and reverse paths for one monitored pair."""
         stats = RefreshStats()
         destination = Address(destination)
-        topo = self.prober.dataplane.topo
 
         trace = self.prober.traceroute(vp.rid, destination)
         stats.traceroute_probes += len(trace.hops)

@@ -9,7 +9,7 @@ after four consecutive dropped pairs — so the minimum detectable outage is
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.dataplane.probes import Prober

@@ -9,7 +9,7 @@ during a failure carries no information and isolation must exclude it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Union
 
 from repro.net.addr import Address

@@ -12,7 +12,7 @@ vantage point as a dead Internet path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Set
 
 from repro.errors import MeasurementError
 from repro.net.addr import Address

@@ -1,0 +1,149 @@
+"""Cached construction of converged simulation baselines.
+
+Nearly every experiment and benchmark starts the same way: generate a
+synthetic Internet, optionally attach a multihomed origin AS, originate
+every prefix, and run the BGP engine to quiescence.  That convergence run
+is the dominant cost at evaluation scale (~13 s for the medium topology),
+and it is pure — a deterministic function of the topology parameters and
+the engine config.  This module memoizes it through
+:class:`~repro.runner.cache.DiskCache`: the cached payload is the pickled
+``(graph, engine, origin_asn)`` triple, and unpickling restores the
+engine *exactly* (including its RNG stream), so cache hits are
+byte-identical to cold builds.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+from repro.bgp.engine import BGPEngine, EngineConfig
+from repro.runner.cache import DiskCache
+from repro.runner.stats import RunStats
+from repro.topology.as_graph import ASGraph
+from repro.topology.generate import generate_multihomed_origin
+
+#: ``origin_asn`` policies for :func:`converged_internet`.
+ORIGIN_ASN_NEXT = "next"  # max(ases) + 1 (the convergence/diversity choice)
+ORIGIN_ASN_EVEN = "even"  # next even ASN with a dark odd sibling (sentinel)
+
+
+@dataclass
+class ConvergedBaseline:
+    """A converged control plane ready for an experiment to perturb."""
+
+    graph: ASGraph
+    engine: BGPEngine
+    #: the attached origin AS, when one was requested.
+    origin_asn: Optional[int] = None
+
+    def snapshot(self) -> bytes:
+        """Pickle the engine (which carries the graph) for trial workers."""
+        return pickle.dumps(
+            (self.engine, self.origin_asn), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+
+def restore_snapshot(payload: bytes) -> Tuple[BGPEngine, Optional[int]]:
+    """Rebuild (engine, origin_asn) from :meth:`ConvergedBaseline.snapshot`.
+
+    Each call returns an independent copy — trial workers may mutate it
+    freely without touching each other.
+    """
+    return pickle.loads(payload)
+
+
+def _even_origin_asn(graph: ASGraph) -> int:
+    """An unused even ASN whose odd sibling is also unused (the covering
+    /15 sentinel needs the sibling /16 to be dark space)."""
+    candidate = max(graph.ases()) + 1
+    if candidate % 2:
+        candidate += 1
+    return candidate
+
+
+def converged_internet(
+    scale: str = "small",
+    seed: int = 0,
+    *,
+    engine_config: Optional[EngineConfig] = None,
+    origin_providers: Optional[int] = None,
+    origin_asn_policy: str = ORIGIN_ASN_NEXT,
+    origin_tier: int = 3,
+    cache: Optional[DiskCache] = None,
+    stats: Optional[RunStats] = None,
+) -> ConvergedBaseline:
+    """Build (or load) a converged Internet at one of the named scales.
+
+    With *origin_providers* set, a fresh multihomed origin AS (the
+    BGP-Mux deployer) is attached before convergence and its prefixes are
+    **not** originated — the experiment announces them itself.  Without
+    it, every AS originates its prefixes.
+
+    The cache key covers the topology shape, seed, origin attachment and
+    the full :class:`EngineConfig`, so changing any of them is a miss.
+    """
+    # Deferred: workloads.scenarios imports the control stack, which
+    # reaches back into repro.runner — importing it at module scope would
+    # make the import order between the two packages matter.
+    from repro.workloads.scenarios import SCALES, build_internet
+
+    stats = stats if stats is not None else RunStats()
+    config = engine_config or EngineConfig(seed=seed)
+    params = {
+        "scale": scale,
+        "shape": asdict(SCALES[scale]) if scale in SCALES else scale,
+        "seed": seed,
+        "engine": asdict(config),
+        "origin_providers": origin_providers,
+        "origin_asn_policy": origin_asn_policy,
+        "origin_tier": origin_tier,
+    }
+    if cache is not None:
+        cached = cache.get("converged", params)
+        if cached is not None:
+            graph, engine, origin_asn = cached
+            return ConvergedBaseline(
+                graph=graph, engine=engine, origin_asn=origin_asn
+            )
+
+    with stats.timer("baseline.topology"):
+        graph, _shape = build_internet(scale, seed)
+        origin_asn: Optional[int] = None
+        if origin_providers is not None:
+            asn = (
+                _even_origin_asn(graph)
+                if origin_asn_policy == ORIGIN_ASN_EVEN
+                else None
+            )
+            origin_asn = generate_multihomed_origin(
+                graph,
+                num_providers=origin_providers,
+                seed=seed,
+                asn=asn,
+                tier=origin_tier,
+            )
+    with stats.timer("baseline.convergence"):
+        engine = BGPEngine(graph, config)
+        for node in graph.nodes():
+            if origin_asn is not None and node.asn == origin_asn:
+                continue
+            for prefix in node.prefixes:
+                engine.originate(node.asn, prefix)
+        engine.run()
+
+    if cache is not None:
+        with stats.timer("baseline.cache_write"):
+            cache.put("converged", params, (graph, engine, origin_asn))
+    return ConvergedBaseline(
+        graph=graph, engine=engine, origin_asn=origin_asn
+    )
+
+
+def trial_rng(master_seed: int, *components) -> random.Random:
+    """A dedicated RNG for one trial (see :func:`derive_seed`)."""
+    from repro.runner.core import derive_seed
+
+    return random.Random(derive_seed(master_seed, *components))

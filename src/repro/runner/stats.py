@@ -1,0 +1,74 @@
+"""Timing and counter accounting for experiment runs.
+
+A :class:`RunStats` travels through a driver (and, merged, back from
+worker processes) so every run can report where its wall-clock time went:
+topology generation, BGP convergence, trial execution, cache traffic.
+The ``bench`` subcommand serializes these into ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+
+@dataclass
+class RunStats:
+    """Named counters plus cumulative phase timers (seconds)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def merge(self, other: "RunStats") -> None:
+        for name, amount in other.counters.items():
+            self.count(name, amount)
+        for name, seconds in other.timers.items():
+            self.add_time(name, seconds)
+
+    def merge_dict(self, payload: Mapping[str, Mapping[str, float]]) -> None:
+        """Merge the :meth:`as_dict` form (as returned by workers)."""
+        for name, amount in payload.get("counters", {}).items():
+            self.count(name, amount)
+        for name, seconds in payload.get("timers", {}).items():
+            self.add_time(name, seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Hit rate over cache lookups, or None if the cache never ran."""
+        hits = self.counters.get("cache.hits", 0)
+        misses = self.counters.get("cache.misses", 0)
+        total = hits + misses
+        if not total:
+            return None
+        return hits / total
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.timers.items())
+            },
+        }

@@ -10,8 +10,8 @@ traces gathered from the simulated data plane.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.splice.three_tuple import TripleSet
 

@@ -24,10 +24,10 @@ whole grid from raw events rather than hard-coding it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.errors import ReproError
-from repro.workloads.outages import OutageTrace, OutageTraceConfig, generate_outage_trace
+from repro.workloads.outages import OutageTraceConfig, generate_outage_trace
 
 #: Hubble monitored 92% of edge ASes; ~1% of ASes on monitored paths are
 #: poisonable transits (the paper's Ih and Th).

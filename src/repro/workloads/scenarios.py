@@ -18,11 +18,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.measure.vantage import VantageSet
 from repro.net.addr import Address, Prefix
 from repro.topology.as_graph import ASGraph
-from repro.topology.generate import (
-    InternetShape,
-    generate_internet,
-    generate_multihomed_origin,
-)
+from repro.topology.generate import InternetShape, generate_internet
 from repro.topology.routers import RouterTopology
 from repro.workloads.outages import generate_outage_trace
 
@@ -46,17 +42,6 @@ def build_internet(
             f"unknown scale {scale!r}; pick from {sorted(SCALES)}"
         )
     return generate_internet(shape, seed=seed), shape
-
-
-def _even_origin_asn(graph: ASGraph) -> int:
-    """An unused even ASN whose odd sibling is also unused.
-
-    The covering /15 sentinel needs the sibling /16 to be dark space.
-    """
-    candidate = max(graph.ases()) + 1
-    if candidate % 2:
-        candidate += 1
-    return candidate
 
 
 @dataclass
@@ -83,6 +68,8 @@ def build_deployment(
     num_targets: int = 4,
     engine_config: Optional[EngineConfig] = None,
     lifeguard_config: Optional[LifeguardConfig] = None,
+    cache=None,
+    stats=None,
 ) -> DeploymentScenario:
     """Build the standard scenario.
 
@@ -90,20 +77,25 @@ def build_deployment(
     tier-2 providers.  One vantage point sits at the origin; helper
     vantage points sit at other stubs; monitored targets are routers in
     transit ASes, echoing the EC2 study's choice of high-degree networks.
+
+    The converged control plane comes from
+    :func:`repro.runner.baseline.converged_internet`, so a configured
+    *cache* serves it from disk after the first build.
     """
-    graph, _shape = build_internet(scale, seed)
-    origin_asn = generate_multihomed_origin(
-        graph, num_providers=num_providers, seed=seed,
-        asn=_even_origin_asn(graph),
+    # Deferred: runner.baseline reaches back into this module.
+    from repro.runner.baseline import ORIGIN_ASN_EVEN, converged_internet
+
+    base = converged_internet(
+        scale,
+        seed,
+        engine_config=engine_config or EngineConfig(seed=seed),
+        origin_providers=num_providers,
+        origin_asn_policy=ORIGIN_ASN_EVEN,
+        cache=cache,
+        stats=stats,
     )
+    graph, engine, origin_asn = base.graph, base.engine, base.origin_asn
     topo = RouterTopology.build(graph, seed=seed)
-    engine = BGPEngine(graph, engine_config or EngineConfig(seed=seed))
-    for node in graph.nodes():
-        for prefix in node.prefixes:
-            if node.asn == origin_asn:
-                continue  # the Lifeguard controller announces its own
-            engine.originate(node.asn, prefix)
-    engine.run()
 
     vps = VantageSet(topo)
     vps.add("origin", topo.routers_of(origin_asn)[0])

@@ -1,6 +1,5 @@
 """Integration tests for the BGP engine on small hand-built topologies."""
 
-import pytest
 
 from repro.bgp.engine import BGPEngine
 from repro.bgp.messages import make_path

@@ -4,7 +4,6 @@ The paper kept each experimental announcement up for 90 minutes precisely
 to stay clear of damping; these tests show what would happen otherwise.
 """
 
-import pytest
 
 from repro.bgp.engine import BGPEngine
 from repro.bgp.messages import make_path

@@ -1,8 +1,14 @@
 """Tests for the lifeguard-repro command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.runner.bench import BENCH_SCHEMA_VERSION
 
 
 class TestParser:
@@ -13,9 +19,15 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for command in ("fig1", "fig5", "fig6", "efficacy", "accuracy",
-                        "table2", "demo"):
+                        "table2", "demo", "chaos", "bench"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_workers_flag(self):
+        parser = build_parser()
+        for command in ("fig6", "efficacy", "accuracy", "chaos", "bench"):
+            args = parser.parse_args([command, "--workers", "3"])
+            assert args.workers == 3
 
 
 class TestCommands:
@@ -49,3 +61,113 @@ class TestCommands:
         assert main(["--seed", "5", "demo"]) == 0
         out = capsys.readouterr().out
         assert "unpoisoned" in out
+
+
+class TestBench:
+    @pytest.fixture(scope="class")
+    def bench_doc(self, tmp_path_factory):
+        """One quick bench run shared by the document checks."""
+        out = tmp_path_factory.mktemp("bench") / "BENCH_test.json"
+        code = main([
+            "bench", "--scale", "tiny", "--only", "alternate_paths",
+            "--only", "efficacy", "--output", str(out),
+        ])
+        assert code == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            return out, json.load(handle)
+
+    def test_document_shape(self, bench_doc):
+        _path, doc = bench_doc
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["scale"] == "tiny"
+        assert doc["workers"] == 1
+        assert set(doc["benchmarks"]) == {"alternate_paths", "efficacy"}
+        for bench in doc["benchmarks"].values():
+            assert bench["trials"] > 0
+            assert bench["wall_seconds"] > 0
+            assert bench["trials_per_sec"] > 0
+            assert "metrics" in bench and "stats" in bench
+        totals = doc["totals"]
+        assert totals["trials"] == sum(
+            b["trials"] for b in doc["benchmarks"].values()
+        )
+
+    def test_compare_accepts_bench_output(self, bench_doc):
+        path, _doc = bench_doc
+        script = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "compare.py"
+        )
+        result = subprocess.run(
+            [sys.executable, script, str(path), str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 regressed" in result.stdout
+
+    def test_compare_gates_on_regression(self, bench_doc, tmp_path):
+        _path, doc = bench_doc
+        # Inflate wall times past compare's noise floor so the gate
+        # applies, then halve the candidate's throughput.
+        base = json.loads(json.dumps(doc))
+        for bench in base["benchmarks"].values():
+            bench["wall_seconds"] = 10.0
+        slow = json.loads(json.dumps(base))
+        for bench in slow["benchmarks"].values():
+            bench["trials_per_sec"] *= 0.5
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base))
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        script = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "compare.py"
+        )
+        result = subprocess.run(
+            [sys.executable, script, str(base_path), str(slow_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
+    def test_compare_skips_sub_noise_floor_runs(self, bench_doc, tmp_path):
+        path, doc = bench_doc
+        slow = json.loads(json.dumps(doc))
+        for bench in slow["benchmarks"].values():
+            bench["wall_seconds"] = 0.05
+            bench["trials_per_sec"] *= 0.5
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        script = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "compare.py"
+        )
+        result = subprocess.run(
+            [sys.executable, script, str(path), str(slow_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "not gated" in result.stdout
+
+    def test_compare_rejects_wrong_schema(self, bench_doc, tmp_path):
+        path, doc = bench_doc
+        bad = json.loads(json.dumps(doc))
+        bad["schema_version"] = 999
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(bad))
+        script = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "compare.py"
+        )
+        result = subprocess.run(
+            [sys.executable, script, str(path), str(bad_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0
+
+    def test_unknown_benchmark_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            main([
+                "bench", "--scale", "tiny", "--only", "nope",
+                "--output", str(tmp_path / "x.json"),
+            ])

@@ -5,10 +5,8 @@ import pytest
 from repro.bgp.messages import make_path
 from repro.control.dns_probe import DnsRepairDetector
 from repro.dataplane.failures import ASForwardingFailure
-from repro.dataplane.fib import build_fibs
 from repro.dataplane.probes import Prober
 from repro.errors import ControlError
-from repro.net.addr import Prefix
 from repro.workloads.scenarios import build_deployment
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.control.lifeguard import RepairState
-from repro.control.sentinel import SentinelStyle, covering_sentinel, unused_half
+from repro.control.sentinel import covering_sentinel, unused_half
 from repro.dataplane.failures import ASForwardingFailure
 from repro.isolation.direction import FailureDirection
 from repro.workloads.scenarios import build_deployment

@@ -1,15 +1,13 @@
 """Tests for FIBs, forwarding walks and failure models."""
 
-import pytest
 
 from repro.dataplane.failures import (
     ASForwardingFailure,
-    FailureSet,
     LinkFailure,
     RouterFailure,
 )
 from repro.dataplane.fib import LOCAL, build_fibs
-from repro.dataplane.forwarding import DataPlane, ForwardOutcome
+from repro.dataplane.forwarding import ForwardOutcome
 from repro.topology.generate import prefix_for_asn
 
 

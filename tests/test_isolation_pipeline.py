@@ -186,7 +186,6 @@ class TestFullIsolation:
             assert result.blamed_asn == bad_asn
 
     def test_forward_failure_blamed(self, deployment):
-        vp = deployment["vps"].get("vp0")
         bad_asn = _forward_transit(deployment)
         deployment["prober"].dataplane.failures.add(
             ASForwardingFailure(

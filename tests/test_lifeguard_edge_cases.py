@@ -1,13 +1,11 @@
 """Edge cases of the LIFEGUARD control loop: decisions not to poison."""
 
-import pytest
 
 from repro.control.lifeguard import OperatingMode, RepairState
 from repro.dataplane.failures import ASForwardingFailure
 from repro.faults import FaultKind, FaultSpec
 from repro.measure.atlas import AtlasRefresher, PathAtlas
 from repro.measure.monitor import MonitorEvent
-from repro.topology.generate import prefix_for_asn
 from repro.workloads.scenarios import (
     build_chaos_deployment,
     build_deployment,

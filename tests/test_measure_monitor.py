@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataplane.failures import ASForwardingFailure, RouterFailure
+from repro.dataplane.failures import ASForwardingFailure
 from repro.dataplane.probes import Prober
 from repro.errors import MeasurementError
 from repro.measure.atlas import AtlasRefresher, PathAtlas

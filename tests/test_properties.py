@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the core data structures."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for valley-free reachability, the three-tuple test, and splicing."""
 
-import pytest
 
 from repro.splice.reachability import (
     reachable_set_avoiding,

@@ -1,6 +1,5 @@
 """Unit tests for the AS graph, relationships and generator."""
 
-import io
 
 import pytest
 

@@ -12,7 +12,6 @@ from repro.workloads.hubble import (
 )
 from repro.workloads.outages import (
     MIN_OUTAGE_SECONDS,
-    OutageTraceConfig,
     generate_outage_trace,
 )
 from repro.workloads.scenarios import build_deployment, build_internet
