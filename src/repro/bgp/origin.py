@@ -11,6 +11,21 @@ and exposes the operations LIFEGUARD performs on its announcements:
   others — to steer traffic off one AS link (§3.1.2);
 * a covering **sentinel prefix** that keeps a baseline route alive for
   captive ASes and lets LIFEGUARD test for repair (§4.2, §7.2).
+
+Two safety mechanisms live origin-side because they guard the announcement
+state itself:
+
+* a **poison ledger** — active poisons are keyed by the repair that owns
+  them, and every announcement carries the *union* of the ledger.  Without
+  it, two concurrent repairs clobber each other: the second ``poison()``
+  silently replaces the first, and either ``unpoison()`` withdraws both.
+* an **announcement pacer** — a sliding-window budget on announcements per
+  prefix, sized against route-flap damping (RFC 2439: 1000 penalty per
+  update, suppression at 2000, 15-minute half-life — the reason the paper
+  spaced its announcements 90 minutes apart, §6).  The pacer never blocks
+  an announcement itself (withdrawing a harmful poison must always be
+  possible); the control loop consults :meth:`AnnouncementPacer.allows`
+  before *adding* churn.
 """
 
 from __future__ import annotations
@@ -53,6 +68,53 @@ class AnnouncementSpec:
         return make_path(origin, prepend=head, poison=poison)
 
 
+class AnnouncementPacer:
+    """Sliding-window announcement budget for one prefix.
+
+    ``max_announcements`` within any ``window`` seconds.  Defaults stay
+    clear of RFC 2439 damping: at 1000 penalty per update, a 2000 suppress
+    threshold and a 900 s half-life, more than ~6 updates inside 90 minutes
+    risks suppression at a damping-enabled neighbor.
+    """
+
+    def __init__(
+        self,
+        window: float = 5400.0,
+        max_announcements: int = 6,
+    ) -> None:
+        self.window = window
+        self.max_announcements = max_announcements
+        #: times of every recorded announcement (grows for the run's
+        #: duration; experiment runs are bounded, so no eviction).
+        self.times: List[float] = []
+
+    def _in_window(self, now: float) -> int:
+        floor = now - self.window
+        return sum(1 for t in self.times if t > floor)
+
+    def allows(self, now: float) -> bool:
+        """Would one more announcement at *now* stay inside the budget?"""
+        return self._in_window(now) < self.max_announcements
+
+    def next_allowed(self, now: float) -> float:
+        """Earliest time the budget frees a slot (``now`` if it already has
+        one)."""
+        if self.allows(now):
+            return now
+        floor = now - self.window
+        in_window = sorted(t for t in self.times if t > floor)
+        # The slot frees when the oldest in-window announcement ages out.
+        overflow = len(in_window) - self.max_announcements
+        return in_window[overflow] + self.window
+
+    def record(self, now: float) -> None:
+        self.times.append(now)
+
+    def restore(self, times: List[float]) -> None:
+        """Reinstate replayed announcement times during crash recovery."""
+        self.times = sorted(set(self.times) | set(times))
+
+
 class OriginController:
     """Announcement control plane for one origin AS."""
 
@@ -63,6 +125,7 @@ class OriginController:
         production_prefix: Prefix,
         sentinel_prefix: Optional[Prefix] = None,
         prepend: int = 3,
+        pacer: Optional[AnnouncementPacer] = None,
     ) -> None:
         if origin_asn not in engine.speakers:
             raise ControlError(f"AS{origin_asn} not in the topology")
@@ -85,6 +148,13 @@ class OriginController:
             prefix=production_prefix, prepend=prepend
         )
         self._avoid_hint: frozenset = frozenset()
+        #: active remediations keyed by the repair that owns them; each
+        #: value is ``(mode, asns)`` with mode "poison" or "avoid", and
+        #: every announcement carries the per-mode union of the values.
+        self._ledger: Dict[str, Tuple[str, Tuple[int, ...]]] = {}
+        #: damping-aware announcement budget (advisory: consulted by the
+        #: control loop before adding churn, never blocks ``_apply``).
+        self.pacer = pacer if pacer is not None else AnnouncementPacer()
         #: history of (time, description) announcement changes.
         self.log: List[Tuple[float, str]] = []
 
@@ -93,6 +163,7 @@ class OriginController:
     # ------------------------------------------------------------------
     def announce_baseline(self) -> None:
         """Announce production (and sentinel) with the prepended baseline."""
+        self._ledger = {}
         self._spec.poisoned = ()
         self._spec.selective = {}
         self._apply("baseline")
@@ -103,19 +174,54 @@ class OriginController:
                 path=make_path(self.origin_asn, prepend=self._spec.prepend),
             )
 
-    def poison(self, asns: Iterable[int]) -> None:
+    def _ledger_union(self, mode: str) -> Tuple[int, ...]:
+        asns = set()
+        for entry_mode, entry_asns in self._ledger.values():
+            if entry_mode == mode:
+                asns.update(entry_asns)
+        return tuple(sorted(asns))
+
+    def _apply_ledger(self, description: str) -> bool:
+        """Re-announce the ledger union; returns True if anything went out.
+
+        Idempotent: when the union is already on the wire the call is a
+        logged no-op.  Several concurrent repairs blaming the same AS (one
+        ground-truth failure seen from many pairs) would otherwise each
+        re-issue an identical announcement, burning pacing budget and
+        route-flap-damping headroom for nothing.
+        """
+        poisoned = self._ledger_union("poison")
+        avoid = frozenset(self._ledger_union("avoid"))
+        if (
+            poisoned == self._spec.poisoned
+            and avoid == self._avoid_hint
+            and not self._spec.selective
+        ):
+            self.log.append((self.engine.now, f"{description} (no-op)"))
+            return False
+        self._spec.poisoned = poisoned
+        self._spec.selective = {}
+        self._avoid_hint = avoid
+        self._apply(description)
+        return True
+
+    def poison(self, asns: Iterable[int], key: str = "default") -> bool:
         """Globally poison *asns* on the production prefix.
 
-        The sentinel keeps its unpoisoned baseline so captive ASes retain a
-        covering route and LIFEGUARD can probe for repair.
+        *key* names the repair that owns this poison in the ledger; the
+        announcement carries the union of every active ledger entry, so
+        concurrent repairs compose instead of clobbering each other.  The
+        sentinel keeps its unpoisoned baseline so captive ASes retain a
+        covering route and LIFEGUARD can probe for repair.  Returns True
+        if an announcement actually went out (False: idempotent no-op).
         """
         poison_list = tuple(asns)
         if self.origin_asn in poison_list:
             raise ControlError("cannot poison the origin itself")
-        self._spec.poisoned = poison_list
-        self._spec.selective = {}
-        self._avoid_hint = frozenset()
-        self._apply(f"poison {poison_list}")
+        if not poison_list:
+            raise ControlError("empty poison list (use unpoison)")
+        self._ledger[key] = ("poison", poison_list)
+        return self._apply_ledger(f"poison {poison_list} [{key}]")
 
     def poison_selectively(
         self,
@@ -133,6 +239,7 @@ class OriginController:
                 raise ControlError(
                     f"AS{provider} is not a provider of AS{self.origin_asn}"
                 )
+        self._ledger = {}
         self._spec.poisoned = ()
         self._spec.selective = {
             provider: (target,) for provider in via_providers
@@ -150,7 +257,9 @@ class OriginController:
         )
         self._apply(f"advertise only via {sorted(keep)}")
 
-    def avoid_problem(self, asns: Iterable[int]) -> None:
+    def avoid_problem(
+        self, asns: Iterable[int], key: str = "default"
+    ) -> bool:
         """Announce the idealized AVOID_PROBLEM(X, P) hint (§3).
 
         Instead of poisoning, attach the signed avoid attribute to a clean
@@ -162,18 +271,62 @@ class OriginController:
         avoid_list = tuple(asns)
         if self.origin_asn in avoid_list:
             raise ControlError("cannot avoid the origin itself")
-        self._spec.poisoned = ()
-        self._spec.selective = {}
-        self._avoid_hint = frozenset(avoid_list)
-        self._apply(f"avoid-problem {avoid_list}")
+        self._ledger[key] = ("avoid", avoid_list)
+        return self._apply_ledger(f"avoid-problem {avoid_list} [{key}]")
 
-    def unpoison(self) -> None:
-        """Return the production prefix to the clean baseline."""
+    def unpoison(self, key: Optional[str] = None) -> bool:
+        """Withdraw one repair's poison — or, with no *key*, everything.
+
+        With a *key*, only that ledger entry is reconciled away and the
+        announcement is re-issued with the union of the *remaining* active
+        poisons, so finishing one repair never withdraws a concurrent
+        repair's poison.  ``unpoison()`` with no key is the full reset back
+        to the clean baseline (also clears selective/suppressed state).
+        Returns True if an announcement actually went out.
+        """
+        if key is not None:
+            if key not in self._ledger:
+                raise ControlError(f"no active poison under key {key!r}")
+            del self._ledger[key]
+            remaining = self._ledger_union("poison") + self._ledger_union(
+                "avoid"
+            )
+            suffix = f"remaining {remaining}" if remaining else "baseline"
+            return self._apply_ledger(f"unpoison [{key}] -> {suffix}")
+        self._ledger = {}
         self._spec.poisoned = ()
         self._spec.selective = {}
         self._spec.suppressed_providers = ()
         self._avoid_hint = frozenset()
         self._apply("unpoison")
+        return True
+
+    def active_poisons(self) -> Dict[str, Tuple[str, Tuple[int, ...]]]:
+        """The ledger: repair key -> (mode, ASes) currently active (copy)."""
+        return dict(self._ledger)
+
+    def restore(
+        self,
+        ledger: Dict[str, Tuple[str, Tuple[int, ...]]],
+        announcement_times: Optional[List[float]] = None,
+    ) -> None:
+        """Reinstate intended announcement state after a controller crash.
+
+        The network (the engine) still carries whatever the dead controller
+        announced; a fresh controller starts with an empty spec and would
+        clobber it on the next change.  ``restore`` rebuilds the ledger and
+        — when any poison should be active — re-issues the union once,
+        which converges as a no-op if the network already matches.  The
+        pacer is re-seeded from journaled announcement times so the budget
+        survives the restart.
+        """
+        if announcement_times:
+            self.pacer.restore(announcement_times)
+        self._ledger = {
+            k: (mode, tuple(asns)) for k, (mode, asns) in ledger.items()
+        }
+        if self._ledger:
+            self._apply_ledger("recover-reconcile")
 
     def _apply(self, description: str) -> None:
         per_neighbor = {
@@ -187,6 +340,7 @@ class OriginController:
             per_neighbor=per_neighbor,
             avoid=getattr(self, "_avoid_hint", frozenset()),
         )
+        self.pacer.record(self.engine.now)
         self.log.append((self.engine.now, description))
 
     # ------------------------------------------------------------------

@@ -188,11 +188,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         intensities=intensities,
         num_outages=args.outages,
         workers=args.workers,
+        crash_controller=args.crash_controller,
     )
     table = Table(
         "Chaos: repair under infrastructure faults",
         ["intensity", "injected", "detected", "repaired", "unpoisoned",
-         "false poisons", "deferrals", "fault events"],
+         "false poisons", "deferrals", "rollbacks", "breaker opens",
+         "crashes", "recovered", "fault events"],
     )
     for point in study.points:
         table.add_row(
@@ -203,12 +205,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             point.completed,
             point.false_poisons,
             point.deferrals,
+            point.rollbacks,
+            point.breaker_opens,
+            point.controller_crashes,
+            point.recovered_records,
             point.stats.total_events if point.stats else 0,
         )
     table.add_note(
         "faults hit LIFEGUARD's own probes, vantage points, BGP sessions "
         "and atlas — never the monitored paths"
     )
+    if args.crash_controller:
+        table.add_note(
+            "controller killed mid-run and rebuilt from its write-ahead "
+            "journal (dropped at intensity 0: the null plan stays empty)"
+        )
     table.emit()
     return 0
 
@@ -299,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault intensity in [0, 1] (repeatable; default 0.0 0.1 0.3)",
     )
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--crash-controller",
+        action="store_true",
+        help="kill the controller mid-run and recover it from its journal",
+    )
     p.set_defaults(func=_cmd_chaos)
     p = sub.add_parser(
         "bench",

@@ -11,11 +11,20 @@ from repro.control.decision import (
     PoisonDecision,
     ResidualDurationModel,
 )
+from repro.control.guard import (
+    BreakerState,
+    PoisonBreaker,
+    RepairGuard,
+    VerifyOutcome,
+    VerifyVerdict,
+)
+from repro.control.journal import OutageKey, RepairJournal, outage_key
 from repro.control.sentinel import SentinelManager, SentinelStyle
 from repro.control.lifeguard import (
     Lifeguard,
     LifeguardConfig,
     RepairRecord,
+    RepairState,
 )
 
 __all__ = [
@@ -26,4 +35,13 @@ __all__ = [
     "Lifeguard",
     "LifeguardConfig",
     "RepairRecord",
+    "RepairState",
+    "BreakerState",
+    "PoisonBreaker",
+    "RepairGuard",
+    "VerifyOutcome",
+    "VerifyVerdict",
+    "RepairJournal",
+    "OutageKey",
+    "outage_key",
 ]

@@ -1,0 +1,217 @@
+"""Repair safety supervisor: verified poisons and a rollback circuit breaker.
+
+Poisoning is unilateral surgery on other networks' routing tables, and §4–5
+of the paper are blunt about the two ways it goes wrong: poisoning the
+*wrong* AS breaks paths that were working, and re-announcing a flapping
+prefix walks it into route-flap-damping suppression.  The
+:class:`RepairGuard` closes the loop that the bare controller leaves open:
+
+* **post-poison verification** — after a poison converges, the guard probes
+  the outage's destination (did reachability actually improve?) *and* a
+  control set of destinations that were reachable immediately before the
+  poison (did we break anything that was working?).  A poison that fails
+  either check is rolled back automatically.
+* **circuit breaker** — every rollback charges a per-(outage, ASN) failure
+  counter with exponential backoff between retries; once the counter hits
+  its limit the breaker opens and the controller stops touching that AS for
+  that outage, landing the record in ``NOT_POISONED`` with the reason.
+
+The guard is deliberately probe-based: it trusts the data plane, not the
+isolation verdict that justified the poison — the whole point is to catch
+the isolation being wrong.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.journal import OutageKey
+from repro.dataplane.probes import Prober
+from repro.measure.vantage import VantageSet
+from repro.net.addr import Address
+
+
+class BreakerState(enum.Enum):
+    """Lifecycle of one (outage, poisoned-ASN) pair under the breaker."""
+
+    #: no recorded failures (or backoff elapsed): poisoning is allowed.
+    CLOSED = "closed"
+    #: a recent rollback: retries wait out the exponential backoff.
+    BACKOFF = "backoff"
+    #: too many ineffective poisons: this AS is off-limits for this outage.
+    OPEN = "open"
+
+
+@dataclass
+class _BreakerEntry:
+    failures: int = 0
+    last_failure: float = float("-inf")
+
+
+class PoisonBreaker:
+    """Failure counting + exponential backoff per (outage, poisoned ASN)."""
+
+    def __init__(
+        self, max_failures: int = 3, backoff: float = 600.0
+    ) -> None:
+        self.max_failures = max_failures
+        self.backoff = backoff
+        self._entries: Dict[Tuple[OutageKey, int], _BreakerEntry] = {}
+
+    def _entry(self, key: OutageKey, asn: int) -> _BreakerEntry:
+        return self._entries.setdefault((key, asn), _BreakerEntry())
+
+    def failures(self, key: OutageKey, asn: int) -> int:
+        entry = self._entries.get((key, asn))
+        return entry.failures if entry else 0
+
+    def retry_at(self, key: OutageKey, asn: int) -> float:
+        """Earliest time a retry of this poison is allowed."""
+        entry = self._entries.get((key, asn))
+        if entry is None or entry.failures == 0:
+            return float("-inf")
+        # 1st rollback waits `backoff`, 2nd `2*backoff`, 3rd `4*backoff`...
+        return entry.last_failure + self.backoff * (
+            2 ** (entry.failures - 1)
+        )
+
+    def state(self, key: OutageKey, asn: int, now: float) -> BreakerState:
+        entry = self._entries.get((key, asn))
+        if entry is None or entry.failures == 0:
+            return BreakerState.CLOSED
+        if entry.failures >= self.max_failures:
+            return BreakerState.OPEN
+        if now < self.retry_at(key, asn):
+            return BreakerState.BACKOFF
+        return BreakerState.CLOSED
+
+    def record_failure(self, key: OutageKey, asn: int, now: float) -> int:
+        """Charge one ineffective poison; returns the new failure count."""
+        entry = self._entry(key, asn)
+        entry.failures += 1
+        entry.last_failure = now
+        return entry.failures
+
+    def restore(
+        self, key: OutageKey, asn: int, failures: int, last_failure: float
+    ) -> None:
+        """Reinstate replayed state during crash recovery."""
+        entry = self._entry(key, asn)
+        entry.failures = max(entry.failures, failures)
+        entry.last_failure = max(entry.last_failure, last_failure)
+
+
+class VerifyVerdict(enum.Enum):
+    """Outcome of one post-poison verification round."""
+
+    #: reachability improved and no collateral destination went dark.
+    EFFECTIVE = "effective"
+    #: the outage destination is still unreachable: the poison missed.
+    INEFFECTIVE = "ineffective"
+    #: previously-reachable destinations went dark: the poison did harm.
+    HARMFUL = "harmful"
+    #: the observing vantage point is down; verify again next tick.
+    DEFERRED = "deferred"
+
+
+@dataclass
+class VerifyOutcome:
+    """Everything one verification round measured."""
+
+    verdict: VerifyVerdict
+    #: did the outage's own destination answer through the poisoned path?
+    target_reachable: bool = False
+    #: control-set destinations that were reachable pre-poison but dark now.
+    collateral_dark: List[str] = field(default_factory=list)
+    probes_used: int = 0
+
+    @property
+    def rollback_needed(self) -> bool:
+        return self.verdict in (
+            VerifyVerdict.INEFFECTIVE, VerifyVerdict.HARMFUL
+        )
+
+    def describe(self) -> str:
+        if self.verdict is VerifyVerdict.HARMFUL:
+            dark = ", ".join(self.collateral_dark)
+            return f"collateral damage: {dark} went dark"
+        if self.verdict is VerifyVerdict.INEFFECTIVE:
+            return "destination still unreachable through the poisoned path"
+        return self.verdict.value
+
+
+class RepairGuard:
+    """Probe-based safety checks wrapped around the poison lifecycle."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        vantage_points: VantageSet,
+        breaker: Optional[PoisonBreaker] = None,
+    ) -> None:
+        self.prober = prober
+        self.vantage_points = vantage_points
+        self.breaker = breaker if breaker is not None else PoisonBreaker()
+
+    # ------------------------------------------------------------------
+    # Pre-poison: capture what currently works
+    # ------------------------------------------------------------------
+    def snapshot_control(
+        self,
+        vp_name: str,
+        destinations: Sequence[Address],
+        exclude: Address,
+        now: float,
+    ) -> Tuple[str, ...]:
+        """Destinations (other than the outage's own) reachable right now.
+
+        Taken immediately before the poison is announced; the post-poison
+        check re-probes exactly this set, so "collateral" means *we* broke
+        it, not that it was already down.
+        """
+        if not self.vantage_points.is_up(vp_name):
+            return ()
+        vp = self.vantage_points.get(vp_name)
+        probed = self.prober.reachability(
+            vp.rid,
+            [d for d in destinations if d != exclude],
+            now=now,
+        )
+        return tuple(dst for dst, ok in probed.items() if ok)
+
+    # ------------------------------------------------------------------
+    # Post-poison verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        vp_name: str,
+        destination: Address,
+        control: Sequence[str],
+        now: float,
+    ) -> VerifyOutcome:
+        """One verification round from *vp_name* through the poisoned path."""
+        if not self.vantage_points.is_up(vp_name):
+            return VerifyOutcome(verdict=VerifyVerdict.DEFERRED)
+        vp = self.vantage_points.get(vp_name)
+        self.prober.dataplane.now = now
+        before = self.prober.probes_sent
+        target_ok = self.prober.ping(vp.rid, destination).success
+        probed = self.prober.reachability(
+            vp.rid, [Address(dst) for dst in control]
+        )
+        dark = [dst for dst, ok in probed.items() if not ok]
+        probes = self.prober.probes_sent - before
+        if dark:
+            verdict = VerifyVerdict.HARMFUL
+        elif not target_ok:
+            verdict = VerifyVerdict.INEFFECTIVE
+        else:
+            verdict = VerifyVerdict.EFFECTIVE
+        return VerifyOutcome(
+            verdict=verdict,
+            target_reachable=target_ok,
+            collateral_dark=dark,
+            probes_used=probes,
+        )

@@ -1,0 +1,135 @@
+"""Write-ahead journal for the repair state machine.
+
+Every decision the controller makes — observing an outage, poisoning,
+verifying, rolling back, unpoisoning, deferring — is appended to a
+:class:`RepairJournal` *before* the corresponding announcement or state
+mutation happens (write-ahead semantics).  A controller that crashes
+mid-repair is rebuilt by :meth:`~repro.control.lifeguard.Lifeguard.recover`,
+which replays the journal, reconstructs every :class:`RepairRecord`, and
+reconciles the origin's intended announcement state against whatever the
+network still carries.
+
+The journal is JSON Lines: one entry per line, sorted keys, so files are
+diffable, greppable, and stable across runs (the crash-recovery property
+test compares them byte-for-byte).  Entries share a small schema::
+
+    {"v": 1, "t": <sim-seconds>, "event": "<kind>",
+     "outage": {"vp": ..., "dst": ..., "start": ...},   # when record-scoped
+     ...event-specific fields...}
+
+Journals default to in-memory (pure simulation runs pay no I/O); pass a
+path to persist every entry with an immediate flush, which is what the
+chaos CI job uploads when a crash-recovery test fails.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ControlError
+
+#: Journal schema version, bumped on incompatible entry changes.
+JOURNAL_VERSION = 1
+
+#: Stable identity of one outage: (vp_name, destination string, start).
+#: Object identity is useless here — record objects die with the process
+#: (and ``id()`` values are recycled by the allocator even within one).
+OutageKey = Tuple[str, str, float]
+
+
+def outage_key(vp_name: str, destination, start: float) -> OutageKey:
+    """The stable identity used to key all per-outage controller state."""
+    return (vp_name, str(destination), float(start))
+
+
+def key_to_json(key: OutageKey) -> Dict[str, Any]:
+    vp, dst, start = key
+    return {"vp": vp, "dst": dst, "start": start}
+
+
+def key_from_json(blob: Dict[str, Any]) -> OutageKey:
+    return (blob["vp"], blob["dst"], float(blob["start"]))
+
+
+class RepairJournal:
+    """Append-only JSONL log of repair state transitions."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.entries: List[Dict[str, Any]] = []
+        self._fh: Optional[IO[str]] = None
+        if path is not None:
+            self._fh = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        event: str,
+        t: float,
+        key: Optional[OutageKey] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Record one entry; returns the entry as written."""
+        entry: Dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "t": float(t),
+            "event": event,
+        }
+        if key is not None:
+            entry["outage"] = key_to_json(key)
+        for name, value in fields.items():
+            if value is not None:
+                entry[name] = value
+        self.entries.append(entry)
+        if self._fh is not None:
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._fh.flush()
+        return entry
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def of_event(self, event: str) -> List[Dict[str, Any]]:
+        return [e for e in self.entries if e["event"] == event]
+
+    def for_outage(self, key: OutageKey) -> List[Dict[str, Any]]:
+        blob = key_to_json(key)
+        return [e for e in self.entries if e.get("outage") == blob]
+
+    @classmethod
+    def load(cls, path: str) -> "RepairJournal":
+        """Read a persisted journal back for replay (does not reopen for
+        appending — pass the path to the constructor for that)."""
+        journal = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ControlError(
+                        f"{path}:{lineno}: malformed journal line: {exc}"
+                    )
+                if entry.get("v") != JOURNAL_VERSION:
+                    raise ControlError(
+                        f"{path}:{lineno}: journal version "
+                        f"{entry.get('v')!r}, expected {JOURNAL_VERSION}"
+                    )
+                journal.entries.append(entry)
+        return journal

@@ -6,27 +6,47 @@ origin's announcement controller, and the sentinel.  Drive it with
 :meth:`tick` every monitoring round (30 s of simulation time); it walks
 each outage through the state machine
 
-    observed -> isolated -> poisoned -> repaired-and-unpoisoned
+    observed -> isolated -> verifying -> poisoned -> repaired-and-unpoisoned
+                                  |
+                                  +-> rolled-back -> (retry | not-poisoned)
 
 recording everything in :class:`RepairRecord` entries that the evaluation
 benches read.
+
+Safety machinery around the repair itself lives in
+:mod:`repro.control.guard` (post-poison verification, rollback circuit
+breaker) and :mod:`repro.control.journal` (the write-ahead journal every
+transition is appended to).  :meth:`Lifeguard.recover` rebuilds a crashed
+controller from its journal: records, breaker and pacing state are
+replayed, in-flight poisons are reconciled back into the origin
+controller, and ongoing outages are re-adopted by the monitor, so a
+restart resumes repairs idempotently instead of forgetting them.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.bgp.engine import BGPEngine
-from repro.bgp.origin import OriginController
+from repro.bgp.origin import AnnouncementPacer, OriginController
 from repro.control.decision import PoisonDecision, ResidualDurationModel
+from repro.control.guard import (
+    BreakerState,
+    RepairGuard,
+    PoisonBreaker,
+    VerifyVerdict,
+)
+from repro.control.journal import OutageKey, RepairJournal, outage_key
 from repro.control.sentinel import SentinelManager, SentinelStyle
+from repro.dataplane.failures import FailureSet
 from repro.dataplane.fib import build_fibs
 from repro.dataplane.forwarding import DataPlane
 from repro.dataplane.probes import Prober
 from repro.errors import ControlError, DegradedError, RetryExhausted
 from repro.faults.injector import RetryBudget
+from repro.isolation.direction import FailureDirection
 from repro.isolation.isolator import FailureIsolator, IsolationResult
 from repro.measure.atlas import AtlasRefresher, PathAtlas
 from repro.measure.monitor import OutageRecord, PingMonitor
@@ -52,7 +72,11 @@ class RepairState(enum.Enum):
     OBSERVED = "observed"
     ISOLATED = "isolated"
     NOT_POISONED = "not-poisoned"      # decided against (or unable)
+    #: poison announced and converged; awaiting post-poison verification.
+    VERIFYING = "verifying"
     POISONED = "poisoned"
+    #: the poison was ineffective or harmful and has been withdrawn.
+    ROLLED_BACK = "rolled-back"
     UNPOISONED = "unpoisoned"
 
 
@@ -72,6 +96,49 @@ class RepairRecord:
     #: isolation runs consumed out of the per-outage retry budget.
     isolation_attempts: int = 0
     notes: List[str] = field(default_factory=list)
+    #: destinations reachable immediately before the poison — the control
+    #: set the post-poison verification re-probes for collateral damage.
+    control_set: Tuple[str, ...] = ()
+    #: when post-poison verification promoted VERIFYING -> POISONED.
+    verified_time: Optional[float] = None
+    #: poisons of this outage withdrawn by the guard.
+    rollbacks: int = 0
+
+    @property
+    def key(self) -> OutageKey:
+        """Stable identity of the underlying outage (survives restarts —
+        unlike ``id()``, which the allocator recycles)."""
+        return outage_key(
+            self.outage.vp_name, self.outage.destination, self.outage.start
+        )
+
+    def fingerprint(self) -> Tuple:
+        """Canonical serializable state, compared byte-for-byte by the
+        crash-recovery property test."""
+        isolation = None
+        if self.isolation is not None:
+            isolation = (
+                self.isolation.direction.value,
+                self.isolation.blamed_asn,
+                round(self.isolation.confidence, 9),
+            )
+        return (
+            self.key,
+            self.outage.detected,
+            self.outage.end,
+            self.state.value,
+            isolation,
+            self.poisoned_asn,
+            self.poison_time,
+            self.convergence_seconds,
+            self.verified_time,
+            self.repair_detected_time,
+            self.unpoison_time,
+            self.rollbacks,
+            self.isolation_attempts,
+            tuple(self.control_set),
+            tuple(self.notes),
+        )
 
 
 @dataclass
@@ -101,6 +168,21 @@ class LifeguardConfig:
     isolation_timeout: float = 600.0
     #: isolation runs per outage before giving up (NOT_POISONED).
     max_isolation_attempts: int = 3
+    #: verify each poison on the next tick and roll it back if the
+    #: destination is still dark or a control destination went dark.
+    verify_repairs: bool = True
+    #: include the collateral (control-set) check in verification.
+    collateral_check: bool = True
+    #: rollbacks of the same (pair, ASN) before the breaker opens.
+    breaker_max_failures: int = 3
+    #: base backoff after a rollback; doubles per subsequent failure.
+    breaker_backoff: float = 600.0
+    #: announcement pacing budget (flap-damping guard, §6): at most
+    #: ``announce_budget`` announcements inside any ``announce_window``
+    #: seconds; new poisons defer when the budget is spent (withdrawals
+    #: are never blocked — safety beats pacing).
+    announce_window: float = 5400.0
+    announce_budget: int = 6
 
 
 class Lifeguard:
@@ -115,6 +197,7 @@ class Lifeguard:
         targets: Iterable[Union[str, Address]],
         duration_history: Sequence[float],
         config: Optional[LifeguardConfig] = None,
+        journal: Optional[RepairJournal] = None,
     ) -> None:
         self.engine = engine
         self.topo = topo
@@ -154,11 +237,25 @@ class Lifeguard:
             self.production_prefix,
             sentinel_prefix=self.sentinel_manager.sentinel,
             prepend=self.config.prepend,
+            pacer=AnnouncementPacer(
+                window=self.config.announce_window,
+                max_announcements=self.config.announce_budget,
+            ),
+        )
+        self.journal = journal if journal is not None else RepairJournal()
+        self.guard = RepairGuard(
+            self.prober,
+            vantage_points,
+            breaker=PoisonBreaker(
+                max_failures=self.config.breaker_max_failures,
+                backoff=self.config.breaker_backoff,
+            ),
         )
         self.records: List[RepairRecord] = []
-        self._records_by_outage: Dict[int, RepairRecord] = {}
-        self._last_repair_check: Dict[int, float] = {}
-        self._isolation_budgets: Dict[int, RetryBudget] = {}
+        self._records_by_outage: Dict[OutageKey, RepairRecord] = {}
+        self._last_repair_check: Dict[OutageKey, float] = {}
+        self._isolation_budgets: Dict[OutageKey, RetryBudget] = {}
+        self._journaled_ends: Set[OutageKey] = set()
         #: optional :class:`~repro.faults.FaultInjector`; set by attach().
         self.injector = None
 
@@ -174,6 +271,7 @@ class Lifeguard:
     # ------------------------------------------------------------------
     def announce(self) -> None:
         """Announce the baseline (prepended) production + sentinel prefixes."""
+        self.journal.append("announce-baseline", self.engine.now)
         self.origin.announce_baseline()
         self.engine.run()
         self.refresh_dataplane()
@@ -186,6 +284,59 @@ class Lifeguard:
     def refresh_dataplane(self) -> None:
         """Re-snapshot FIBs after any control-plane change."""
         self.dataplane.fibs = build_fibs(self.engine)
+
+    # ------------------------------------------------------------------
+    # Journal helpers
+    # ------------------------------------------------------------------
+    def _journal(
+        self,
+        event: str,
+        record: Optional[RepairRecord],
+        now: float,
+        **fields,
+    ) -> None:
+        key = record.key if record is not None else None
+        self.journal.append(event, now, key=key, **fields)
+
+    def _set_state(
+        self,
+        record: RepairRecord,
+        state: RepairState,
+        now: float,
+        reason: Optional[str] = None,
+        **fields,
+    ) -> None:
+        """Journal the transition (write-ahead), then apply it."""
+        self._journal(
+            "state", record, now, state=state.value, reason=reason, **fields
+        )
+        for name, value in fields.items():
+            setattr(record, name, value)
+        record.state = state
+
+    def _note(self, record: RepairRecord, now: float, note: str) -> None:
+        self._journal("note", record, now, note=note)
+        record.notes.append(note)
+
+    def _note_once(self, record: RepairRecord, note: str) -> None:
+        if note not in record.notes:
+            self._journal("note", record, self.engine.now, note=note)
+            record.notes.append(note)
+
+    @staticmethod
+    def _ledger_key(key: OutageKey) -> str:
+        vp, dst, start = key
+        return f"{vp}|{dst}|{start:g}"
+
+    @staticmethod
+    def _pair_key(record: RepairRecord) -> Tuple[str, str]:
+        """Breaker identity: the monitored pair, *without* the outage start.
+
+        A harmful poison can end the outage record (the target briefly
+        recovers) and the re-broken pair then opens a fresh outage; keying
+        the breaker by pair keeps those failure counts accumulating instead
+        of resetting with every re-detection."""
+        return (record.outage.vp_name, str(record.outage.destination))
 
     # ------------------------------------------------------------------
     # Main loop
@@ -203,6 +354,7 @@ class Lifeguard:
                 self.engine.run()
                 self.refresh_dataplane()
         self.monitor.run_round(now)
+        self._journal_ended_outages()
         for outage in self.monitor.ongoing_outages():
             record = self._record_for(outage)
             if record.state is RepairState.OBSERVED:
@@ -210,9 +362,14 @@ class Lifeguard:
         # Poisoned records keep getting repair checks even after the
         # monitor sees connectivity again — the monitor's pings travel the
         # *poisoned* (rerouted) path, so its recovery says nothing about
-        # whether the underlying failure was fixed.
+        # whether the underlying failure was fixed.  Verification and
+        # rollback retries likewise follow the record, not the outage.
         for record in self.records:
-            if record.state is RepairState.POISONED:
+            if record.state is RepairState.VERIFYING:
+                self._maybe_verify(record, now)
+            elif record.state is RepairState.ROLLED_BACK:
+                self._maybe_retry_after_rollback(record, now)
+            elif record.state is RepairState.POISONED:
                 self._maybe_check_repair(record, now)
 
     def run(self, start: float, end: float) -> None:
@@ -222,16 +379,30 @@ class Lifeguard:
             self.tick(now)
             now += self.config.monitor_interval
 
+    def _journal_ended_outages(self) -> None:
+        for record in self.records:
+            end = record.outage.end
+            if end is None:
+                continue
+            key = record.key
+            if key not in self._journaled_ends:
+                self._journaled_ends.add(key)
+                self._journal("outage-ended", record, end)
+
     # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
     def _record_for(self, outage: OutageRecord) -> RepairRecord:
-        key = id(outage)
+        key = outage_key(outage.vp_name, outage.destination, outage.start)
         record = self._records_by_outage.get(key)
         if record is None:
             record = RepairRecord(outage=outage)
             self._records_by_outage[key] = record
             self.records.append(record)
+            self._journal(
+                "observed", record, outage.detected,
+                detected=outage.detected,
+            )
         return record
 
     def _maybe_isolate_and_poison(
@@ -252,19 +423,22 @@ class Lifeguard:
             # The observing vantage point is down.  Deferral costs no
             # retry budget: nothing was attempted, and the outage itself
             # may be an artifact of the dead VP.
+            self._journal("deferred", record, now, why="vp-down")
             self._note_once(
                 record,
                 f"vantage point {vp_name} down: isolation deferred",
             )
             return
         budget = self._isolation_budgets.setdefault(
-            id(record), RetryBudget(self.config.max_isolation_attempts)
+            record.key, RetryBudget(self.config.max_isolation_attempts)
         )
         try:
             budget.spend("isolation", vp=vp_name, target=target)
         except RetryExhausted as exc:
-            record.state = RepairState.NOT_POISONED
-            record.notes.append(f"not poisoning: {exc}")
+            self._set_state(
+                record, RepairState.NOT_POISONED, now, reason=str(exc)
+            )
+            self._note(record, now, f"not poisoning: {exc}")
             return
         try:
             isolation = self.isolator.isolate(
@@ -273,22 +447,41 @@ class Lifeguard:
         except DegradedError as exc:
             # VP died between the health check and the measurement.
             budget.used -= 1
+            self._journal(
+                "isolation-spend", record, now, used=budget.used
+            )
+            self._journal(
+                "deferred", record, now, why="vp-died-mid-measurement"
+            )
             self._note_once(record, f"isolation deferred: {exc}")
             return
+        self._journal("isolation-spend", record, now, used=budget.used)
         record.isolation = isolation
         record.isolation_attempts = budget.used
         record.state = RepairState.ISOLATED
+        self._journal(
+            "isolated", record, now,
+            direction=isolation.direction.value,
+            blamed_asn=isolation.blamed_asn,
+            confidence=isolation.confidence,
+            attempts=budget.used,
+        )
         if isolation.elapsed_seconds > self.config.isolation_timeout:
             isolation.discount(
                 0.5,
                 f"isolation ran {isolation.elapsed_seconds:.0f}s, past "
                 f"the {self.config.isolation_timeout:.0f}s timeout",
             )
+            self._journal(
+                "isolation-discount", record, now,
+                confidence=isolation.confidence,
+            )
         if isolation.confidence < self.config.min_confidence:
             # DEGRADED path: keep the record OBSERVED and re-isolate on a
             # later tick — transiently injected faults (lost probes, a
             # crashed helper) may have cleared by then.
             record.state = RepairState.OBSERVED
+            self._journal("deferred", record, now, why="low-confidence")
             self._note_once(
                 record,
                 f"degraded isolation (confidence "
@@ -297,56 +490,227 @@ class Lifeguard:
             )
             return
         if isolation.blamed_asn is None:
-            record.state = RepairState.NOT_POISONED
-            record.notes.append("isolation produced no suspect AS")
+            self._set_state(
+                record, RepairState.NOT_POISONED, now,
+                reason="isolation produced no suspect AS",
+            )
+            self._note(record, now, "isolation produced no suspect AS")
             return
-        if not self._poisonable(isolation, record):
-            record.state = RepairState.NOT_POISONED
+        if not self._poisonable(isolation, record, now):
+            self._set_state(record, RepairState.NOT_POISONED, now)
             return
-        self._poison(record, isolation.blamed_asn, now)
-
-    def _note_once(self, record: RepairRecord, note: str) -> None:
-        if note not in record.notes:
-            record.notes.append(note)
+        asn = isolation.blamed_asn
+        breaker_state = self.guard.breaker.state(
+            self._pair_key(record), asn, now
+        )
+        if breaker_state is BreakerState.OPEN:
+            failures = self.guard.breaker.failures(
+                self._pair_key(record), asn
+            )
+            reason = (
+                f"circuit breaker open after {failures} ineffective "
+                f"poisons of AS{asn}"
+            )
+            self._set_state(
+                record, RepairState.NOT_POISONED, now, reason=reason
+            )
+            self._note(record, now, f"not poisoning: {reason}")
+            return
+        if breaker_state is BreakerState.BACKOFF:
+            budget.used -= 1
+            self._journal(
+                "isolation-spend", record, now, used=budget.used
+            )
+            self._journal("deferred", record, now, why="breaker-backoff")
+            self._note_once(
+                record,
+                f"rollback backoff for AS{asn} pending: "
+                f"poisoning deferred",
+            )
+            return
+        if not self.origin.pacer.allows(now):
+            # Flap-damping guard (§6): adding another announcement now
+            # risks walking the prefix into damping penalty at a
+            # suppressing neighbor.  Withdrawals stay exempt.
+            budget.used -= 1
+            self._journal(
+                "isolation-spend", record, now, used=budget.used
+            )
+            self._journal("deferred", record, now, why="pacing")
+            self._note_once(
+                record,
+                "announcement budget exhausted: poisoning deferred "
+                "(flap-damping guard)",
+            )
+            return
+        self._poison(record, asn, now)
 
     def _poisonable(
-        self, isolation: IsolationResult, record: RepairRecord
+        self, isolation: IsolationResult, record: RepairRecord, now: float
     ) -> bool:
         blamed = isolation.blamed_asn
         target_asn = self._asn_of_address(record.outage.destination)
         if blamed in (self.origin_asn, target_asn):
-            record.notes.append(
-                f"failure inside edge AS{blamed}: local repair, not poisoning"
+            self._note(
+                record, now,
+                f"failure inside edge AS{blamed}: local repair, "
+                f"not poisoning",
             )
             return False
         reachable = reachable_set_avoiding(
             self.engine.graph, self.origin_asn, avoid=[blamed]
         )
         if target_asn not in reachable:
-            record.notes.append(
-                f"no policy-compliant path avoiding AS{blamed}: not poisoning"
+            self._note(
+                record, now,
+                f"no policy-compliant path avoiding AS{blamed}: "
+                f"not poisoning",
             )
             return False
         return True
 
+    # ------------------------------------------------------------------
+    # Poison / verify / rollback
+    # ------------------------------------------------------------------
     def _poison(self, record: RepairRecord, asn: int, now: float) -> None:
+        control: Tuple[str, ...] = ()
+        if self.config.verify_repairs and self.config.collateral_check:
+            control = self.guard.snapshot_control(
+                record.outage.vp_name,
+                self.targets,
+                record.outage.destination,
+                now,
+            )
+        record.control_set = control
+        mode = "avoid" if self.config.use_avoid_problem else "poison"
+        # Write-ahead: the intent hits the journal before the network.
+        self._journal(
+            "poison", record, now,
+            asn=asn, mode=mode, control=list(control),
+        )
+        ledger_key = self._ledger_key(record.key)
         if self.config.use_avoid_problem:
-            self.origin.avoid_problem([asn])
+            applied = self.origin.avoid_problem([asn], key=ledger_key)
         else:
-            self.origin.poison([asn])
+            applied = self.origin.poison([asn], key=ledger_key)
+        if applied:
+            # Effect event: an announcement actually went out (a redundant
+            # same-union poison is an idempotent no-op on the wire).  The
+            # pacer is rebuilt from these at recovery, not from intents.
+            self._journal("announced", record, now)
         converged_at = self.engine.run()
-        record.state = RepairState.POISONED
-        record.poisoned_asn = asn
-        record.poison_time = now
-        record.convergence_seconds = max(0.0, converged_at - now)
-        self._last_repair_check[id(record)] = now
+        self._last_repair_check[record.key] = now
         self.refresh_dataplane()
+        state = (
+            RepairState.VERIFYING
+            if self.config.verify_repairs
+            else RepairState.POISONED
+        )
+        self._set_state(
+            record, state, now,
+            poisoned_asn=asn,
+            poison_time=now,
+            convergence_seconds=max(0.0, converged_at - now),
+        )
 
+    def _maybe_verify(self, record: RepairRecord, now: float) -> None:
+        if record.poison_time is None or now <= record.poison_time:
+            return  # converged this very tick; verify on the next one
+        outcome = self.guard.verify(
+            record.outage.vp_name,
+            record.outage.destination,
+            record.control_set if self.config.collateral_check else (),
+            now,
+        )
+        if outcome.verdict is VerifyVerdict.DEFERRED:
+            self._note_once(
+                record,
+                "verification deferred: observing vantage point down",
+            )
+            return
+        if outcome.rollback_needed:
+            self._rollback(record, now, outcome.describe())
+            return
+        self._set_state(
+            record, RepairState.POISONED, now, verified_time=now
+        )
+        self._note(
+            record, now,
+            f"poison of AS{record.poisoned_asn} verified: destination "
+            f"reachable, {len(record.control_set)} control destinations "
+            f"intact",
+        )
+
+    def _rollback(
+        self, record: RepairRecord, now: float, reason: str
+    ) -> None:
+        """Withdraw a poison that verification judged ineffective/harmful."""
+        asn = record.poisoned_asn
+        pair = self._pair_key(record)
+        failures = self.guard.breaker.record_failure(pair, asn, now)
+        self._journal(
+            "rollback", record, now,
+            asn=asn, reason=reason, failures=failures,
+        )
+        ledger_key = self._ledger_key(record.key)
+        if ledger_key in self.origin.active_poisons():
+            if self.origin.unpoison(key=ledger_key):
+                self._journal("announced", record, now)
+            self.engine.run()
+            self.refresh_dataplane()
+        record.rollbacks += 1
+        self._set_state(
+            record, RepairState.ROLLED_BACK, now, reason=reason
+        )
+        self._note(
+            record, now,
+            f"rolled back poison of AS{asn}: {reason} "
+            f"(failure {failures}/{self.config.breaker_max_failures})",
+        )
+        if failures >= self.config.breaker_max_failures:
+            open_reason = (
+                f"circuit breaker open after {failures} ineffective "
+                f"poisons of AS{asn}"
+            )
+            self._set_state(
+                record, RepairState.NOT_POISONED, now, reason=open_reason
+            )
+            self._note(record, now, f"not poisoning: {open_reason}")
+
+    def _maybe_retry_after_rollback(
+        self, record: RepairRecord, now: float
+    ) -> None:
+        if record.outage.end is not None:
+            return  # the pair recovered; ROLLED_BACK is terminal here
+        asn = record.poisoned_asn
+        state = self.guard.breaker.state(self._pair_key(record), asn, now)
+        if state is BreakerState.OPEN:
+            failures = self.guard.breaker.failures(
+                self._pair_key(record), asn
+            )
+            reason = (
+                f"circuit breaker open after {failures} ineffective "
+                f"poisons of AS{asn}"
+            )
+            self._set_state(
+                record, RepairState.NOT_POISONED, now, reason=reason
+            )
+            self._note(record, now, f"not poisoning: {reason}")
+        elif state is BreakerState.CLOSED:
+            self._set_state(
+                record, RepairState.OBSERVED, now,
+                reason="rollback backoff elapsed: re-isolating",
+            )
+
+    # ------------------------------------------------------------------
+    # Repair detection / unpoison
+    # ------------------------------------------------------------------
     def _maybe_check_repair(self, record: RepairRecord, now: float) -> None:
-        last = self._last_repair_check.get(id(record), float("-inf"))
+        key = record.key
+        last = self._last_repair_check.get(key, float("-inf"))
         if now - last < self.config.repair_check_interval:
             return
-        self._last_repair_check[id(record)] = now
+        self._last_repair_check[key] = now
         if not self.sentinel_manager.can_detect_repair:
             return
         test_destinations = [
@@ -354,18 +718,212 @@ class Lifeguard:
             for rid in self.topo.routers_of(record.poisoned_asn)
             if self.topo.router(rid).responds_to_ping
         ]
+        if not test_destinations:
+            # No responsive router in the poisoned AS: a zero-probe check
+            # would "detect" repair out of thin air.  Skip, note it, and
+            # keep the poison until evidence exists.
+            self._journal("repair-check", record, now, skipped=True)
+            self._note_once(
+                record,
+                f"no responsive routers in AS{record.poisoned_asn}: "
+                f"repair check skipped",
+            )
+            return
+        self._journal("repair-check", record, now)
         check = self.sentinel_manager.check_repair(test_destinations, now)
         if check.repaired:
             record.repair_detected_time = now
             self.unpoison(record, now)
 
     def unpoison(self, record: RepairRecord, now: float) -> None:
-        """Withdraw the poison and return to the baseline announcement."""
-        self.origin.unpoison()
+        """Withdraw the poison and return to the baseline announcement.
+
+        Only this record's ledger entry is withdrawn; poisons owned by
+        concurrent repairs stay on the announcement.
+        """
+        self._journal("unpoison", record, now)
+        ledger_key = self._ledger_key(record.key)
+        if ledger_key in self.origin.active_poisons():
+            applied = self.origin.unpoison(key=ledger_key)
+        else:
+            # Legacy/externally-applied poison: full reset.
+            applied = self.origin.unpoison()
+        if applied:
+            self._journal("announced", record, now)
         self.engine.run()
         self.refresh_dataplane()
-        record.unpoison_time = now
-        record.state = RepairState.UNPOISONED
+        self._set_state(
+            record, RepairState.UNPOISONED, now,
+            unpoison_time=now,
+            repair_detected_time=record.repair_detected_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        journal: RepairJournal,
+        *,
+        engine: BGPEngine,
+        topo: RouterTopology,
+        origin_asn: int,
+        vantage_points: VantageSet,
+        targets: Iterable[Union[str, Address]],
+        duration_history: Sequence[float],
+        config: Optional[LifeguardConfig] = None,
+        now: float = 0.0,
+        reprime_atlas: bool = True,
+        failures: Optional[FailureSet] = None,
+    ) -> "Lifeguard":
+        """Rebuild a controller that died, from its write-ahead journal.
+
+        The *engine*, *topo*, *vantage_points* — and *failures*, the
+        ground-truth data-plane failure set — are the surviving world: a
+        controller crash does not withdraw announcements, restart routers,
+        or repair the failures it was trying to route around.  Replaying the journal reconstructs every record (and the
+        breaker, pacer and repair-check bookkeeping behind it); the origin
+        controller is then reconciled so its intended announcement state —
+        the union of in-flight poisons — is re-asserted, which converges
+        as a no-op when the network still carries it.  Ongoing outages are
+        re-adopted by the monitor so their records resume instead of being
+        re-detected as fresh outages.
+        """
+        lifeguard = cls(
+            engine=engine,
+            topo=topo,
+            origin_asn=origin_asn,
+            vantage_points=vantage_points,
+            targets=targets,
+            duration_history=duration_history,
+            config=config,
+            journal=journal,
+        )
+        if failures is not None:
+            lifeguard.dataplane.failures = failures
+        lifeguard.dataplane.now = now
+        lifeguard._replay(journal, now)
+        if reprime_atlas:
+            # The atlas died with the old process; re-measure the
+            # background paths (over the *current*, possibly-poisoned
+            # routing — exactly what a restarted deployment would see).
+            lifeguard.prime_atlas(now)
+        return lifeguard
+
+    def _replay(self, journal: RepairJournal, now: float) -> None:
+        entries = list(journal.entries)
+        poison_modes: Dict[OutageKey, str] = {}
+        announce_times: List[float] = []
+        for entry in entries:
+            event = entry["event"]
+            key: Optional[OutageKey] = None
+            if "outage" in entry:
+                blob = entry["outage"]
+                key = (blob["vp"], blob["dst"], float(blob["start"]))
+            record = self._records_by_outage.get(key) if key else None
+            if event == "announce-baseline":
+                announce_times.append(entry["t"])
+            elif event == "announced":
+                announce_times.append(entry["t"])
+            elif event == "observed":
+                outage = OutageRecord(
+                    vp_name=key[0],
+                    destination=Address(key[1]),
+                    start=key[2],
+                    detected=entry.get("detected", entry["t"]),
+                )
+                record = RepairRecord(outage=outage)
+                self._records_by_outage[key] = record
+                self.records.append(record)
+            elif record is None:
+                continue
+            elif event == "outage-ended":
+                record.outage.end = entry["t"]
+                self._journaled_ends.add(key)
+            elif event == "note":
+                record.notes.append(entry["note"])
+            elif event == "isolation-spend":
+                budget = self._isolation_budgets.setdefault(
+                    key, RetryBudget(self.config.max_isolation_attempts)
+                )
+                budget.used = entry["used"]
+            elif event == "isolated":
+                record.isolation = IsolationResult(
+                    vp_name=key[0],
+                    destination=record.outage.destination,
+                    direction=FailureDirection(entry["direction"]),
+                    blamed_asn=entry.get("blamed_asn"),
+                    confidence=entry.get("confidence", 1.0),
+                )
+                record.isolation_attempts = entry.get(
+                    "attempts", record.isolation_attempts
+                )
+                record.state = RepairState.ISOLATED
+            elif event == "isolation-discount":
+                if record.isolation is not None:
+                    record.isolation.confidence = entry["confidence"]
+            elif event == "deferred":
+                record.state = RepairState.OBSERVED
+            elif event == "poison":
+                record.control_set = tuple(entry.get("control", ()))
+                poison_modes[key] = entry.get("mode", "poison")
+            elif event == "rollback":
+                self.guard.breaker.restore(
+                    (key[0], key[1]),
+                    entry["asn"],
+                    entry["failures"],
+                    entry["t"],
+                )
+                record.rollbacks += 1
+            elif event == "repair-check":
+                self._last_repair_check[key] = entry["t"]
+            elif event == "state":
+                state = RepairState(entry["state"])
+                for name in (
+                    "poisoned_asn",
+                    "poison_time",
+                    "convergence_seconds",
+                    "verified_time",
+                    "repair_detected_time",
+                    "unpoison_time",
+                ):
+                    if name in entry:
+                        setattr(record, name, entry[name])
+                record.state = state
+                if state in (
+                    RepairState.VERIFYING, RepairState.POISONED
+                ) and "poison_time" in entry:
+                    self._last_repair_check.setdefault(
+                        key, entry["poison_time"]
+                    )
+        # Reconcile origin intent: re-assert the union of in-flight
+        # poisons (no-op convergence when the network already has them).
+        ledger = {}
+        for key, record in self._records_by_outage.items():
+            if record.state in (
+                RepairState.VERIFYING, RepairState.POISONED
+            ):
+                ledger[self._ledger_key(key)] = (
+                    poison_modes.get(key, "poison"),
+                    (record.poisoned_asn,),
+                )
+        self.origin.restore(ledger, announce_times)
+        self.engine.run()
+        self.refresh_dataplane()
+        # Ongoing outages survive the controller, not the other way round:
+        # hand them back to the monitor so detection state resumes.
+        adopted = 0
+        for record in self.records:
+            if record.outage.end is None:
+                self.monitor.adopt_outage(record.outage)
+                adopted += 1
+        self.journal.append(
+            "recovered", now,
+            records=len(self.records),
+            active_poisons=len(ledger),
+            adopted_outages=adopted,
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -381,5 +939,10 @@ class Lifeguard:
         return [
             r
             for r in self.records
-            if r.state in (RepairState.POISONED, RepairState.UNPOISONED)
+            if r.state
+            in (
+                RepairState.VERIFYING,
+                RepairState.POISONED,
+                RepairState.UNPOISONED,
+            )
         ]

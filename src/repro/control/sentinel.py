@@ -66,6 +66,9 @@ class RepairCheck:
     #: destinations that answered via the sentinel path.
     responding: List[Address]
     probes_used: int
+    #: True when no check actually ran (no sentinel, or nothing to probe)
+    #: — distinct from "probed and still broken".
+    skipped: bool = False
 
 
 class SentinelManager:
@@ -124,12 +127,22 @@ class SentinelManager:
         the preferred path — so a response means the failure is gone.
         """
         if not self.can_detect_repair:
-            return RepairCheck(repaired=False, responding=[], probes_used=0)
+            return RepairCheck(
+                repaired=False, responding=[], probes_used=0, skipped=True
+            )
+        destinations = list(test_destinations)
+        if not destinations:
+            # Zero probes can never be evidence of repair; without this
+            # guard ``bool(responding)`` below would at best mask the
+            # distinction between "unchecked" and "checked, still broken".
+            return RepairCheck(
+                repaired=False, responding=[], probes_used=0, skipped=True
+            )
         if now is not None:
             self.prober.dataplane.now = now
         before = self.prober.probes_sent
         responding: List[Address] = []
-        for destination in test_destinations:
+        for destination in destinations:
             result = self.prober.ping(
                 self.origin_router,
                 destination,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.dataplane.forwarding import DataPlane, ForwardOutcome, ForwardResult
 from repro.net.addr import Address
@@ -250,6 +250,25 @@ class Prober:
             reply=reply,
             responder=responder.address if success else None,
         )
+
+    def reachability(
+        self,
+        source_rid: str,
+        destinations: Iterable[Union[str, Address]],
+        now: Optional[float] = None,
+    ) -> Dict[str, bool]:
+        """One ping per destination; maps ``str(destination)`` to success.
+
+        The batch form the repair guard uses for its pre-poison control
+        snapshot and post-poison verification sweep — one call per round
+        keeps the probe accounting in a single place.
+        """
+        if now is not None:
+            self.dataplane.now = now
+        return {
+            str(Address(d)): self.ping(source_rid, d).success
+            for d in destinations
+        }
 
     # ------------------------------------------------------------------
     # Traceroute

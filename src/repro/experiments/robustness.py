@@ -12,7 +12,13 @@ the measurement and control machinery at a swept intensity, then scores
   failed AS (and later detected repair and unpoisoned);
 * false poisons — poisoning an AS that was never broken, the failure
   mode graceful degradation exists to prevent;
-* deferrals — rounds where the DEGRADED path held fire on thin evidence.
+* deferrals — rounds where the DEGRADED path held fire on thin evidence;
+* rollbacks / breaker opens — poisons the repair guard withdrew and
+  (pair, ASN) combinations it gave up on;
+* crash recovery — with ``crash_controller`` the schedule kills the
+  controller mid-run and the harness rebuilds it from its write-ahead
+  journal, so the sweep also measures whether in-flight repairs survive
+  a restart.
 
 Intensity 0 doubles as the reproducibility anchor: an attached injector
 with an empty plan must leave the run byte-identical to no injector.
@@ -23,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.control.lifeguard import RepairState
+from repro.control.lifeguard import Lifeguard, RepairState
 from repro.dataplane.failures import ASForwardingFailure
 from repro.faults.injector import FaultStats
 from repro.net.addr import Address
@@ -31,6 +37,7 @@ from repro.runner.cache import DiskCache, resolve_cache
 from repro.runner.core import run_trials
 from repro.runner.stats import RunStats
 from repro.splice.reachability import reachable_set_avoiding
+from repro.workloads.outages import generate_outage_trace
 from repro.workloads.scenarios import (
     DeploymentScenario,
     build_chaos_deployment,
@@ -74,6 +81,14 @@ class RobustnessPoint:
     deferrals: int = 0
     #: outages abandoned after the isolation retry budget ran dry.
     retry_exhausted: int = 0
+    #: poisons the repair guard verified as ineffective/harmful and undid.
+    rollbacks: int = 0
+    #: (pair, ASN) combinations the circuit breaker gave up on.
+    breaker_opens: int = 0
+    #: scheduled controller kills the harness executed.
+    controller_crashes: int = 0
+    #: repair records carried across the journal-replay recovery.
+    recovered_records: int = 0
     #: what the injector actually did during the run.
     stats: Optional[FaultStats] = None
 
@@ -141,15 +156,50 @@ def _true_as_for(
     return None
 
 
+def _recover_controller(
+    scenario: DeploymentScenario,
+    injector,
+    survivors,
+    seed: int,
+    now: float,
+) -> "Lifeguard":
+    """Rebuild the controller from what outlived it and re-wire chaos."""
+    journal, config, failures = survivors
+    lifeguard = Lifeguard.recover(
+        journal,
+        engine=scenario.engine,
+        topo=scenario.topo,
+        origin_asn=scenario.origin_asn,
+        vantage_points=scenario.vantage_points,
+        targets=scenario.targets,
+        duration_history=generate_outage_trace(seed=seed).durations,
+        config=config,
+        now=now,
+        failures=failures,
+        reprime_atlas=False,
+    )
+    # Wire chaos back in *before* re-priming the atlas, so the restarted
+    # controller's background measurements suffer faults like live ones.
+    injector.attach(lifeguard)
+    lifeguard.prime_atlas(now)
+    scenario.lifeguard = lifeguard
+    return lifeguard
+
+
 def _run_point(
     scale: str,
     seed: int,
     intensity: float,
     num_outages: int,
     cache: Optional[DiskCache] = None,
+    crash_controller: bool = False,
 ) -> RobustnessPoint:
     scenario, injector = build_chaos_deployment(
-        scale=scale, seed=seed, intensity=intensity, cache=cache
+        scale=scale,
+        seed=seed,
+        intensity=intensity,
+        cache=cache,
+        crash_controller=crash_controller,
     )
     lifeguard = scenario.lifeguard
     lifeguard.prime_atlas(now=0.0)
@@ -184,7 +234,46 @@ def _run_point(
         true_asns.add(true_asn)
 
     end = FIRST_FAILURE + num_outages * FAILURE_SPACING + 2400.0
-    lifeguard.run(start=30.0, end=end)
+    interval = lifeguard.config.monitor_interval
+    now = 30.0
+    down_until: Optional[float] = None
+    survivors = None  # (journal, config, ground-truth failures)
+    while now <= end:
+        if lifeguard is None:
+            # Controller dead: the network keeps evolving, repairs stay
+            # announced, outages keep aging — nobody is watching.
+            if now < down_until:
+                scenario.engine.advance_to(now)
+                now += interval
+                continue
+            lifeguard = _recover_controller(
+                scenario, injector, survivors, seed, now
+            )
+            point.recovered_records = len(lifeguard.records)
+            down_until = None
+        due = injector.controller_crash_due(now)
+        if due is not None:
+            # The process dies before this round runs.  Everything the
+            # next incarnation will know survives outside it: the journal,
+            # the config, the network, and the ground-truth failure set.
+            survivors = (
+                lifeguard.journal,
+                lifeguard.config,
+                lifeguard.dataplane.failures,
+            )
+            lifeguard = None
+            down_until = max(due, now)
+            point.controller_crashes += 1
+            continue
+        lifeguard.tick(now)
+        now += interval
+    if lifeguard is None:
+        # The run ended inside the outage window: restart anyway so the
+        # scoreboard reads the journal-recovered records, not nothing.
+        lifeguard = _recover_controller(
+            scenario, injector, survivors, seed, end
+        )
+        point.recovered_records = len(lifeguard.records)
 
     # Score at the AS level: one ground-truth failure can break several
     # monitored pairs, and whichever pair's record drives the poison
@@ -205,19 +294,27 @@ def _run_point(
             and record.poisoned_asn not in true_asns
         ):
             point.false_poisons += 1
+        point.rollbacks += record.rollbacks
         for note in record.notes:
             if "deferr" in note or "deferred" in note:
                 point.deferrals += 1
             if "retry budget" in note:
                 point.retry_exhausted += 1
+            if "circuit breaker open" in note:
+                point.breaker_opens += 1
     return point
 
 
 def _point_worker(context, intensity: float) -> RobustnessPoint:
     """One intensity level on its own deployment (trivially independent)."""
-    scale, seed, num_outages, cache_root = context
+    scale, seed, num_outages, cache_root, crash_controller = context
     return _run_point(
-        scale, seed, intensity, num_outages, cache=DiskCache.maybe(cache_root)
+        scale,
+        seed,
+        intensity,
+        num_outages,
+        cache=DiskCache.maybe(cache_root),
+        crash_controller=crash_controller,
     )
 
 
@@ -229,12 +326,22 @@ def run_robustness_study(
     workers: int = 1,
     cache=None,
     stats: Optional[RunStats] = None,
+    crash_controller: bool = False,
 ) -> RobustnessStudy:
-    """Sweep fault intensity; each point is an independent deployment."""
+    """Sweep fault intensity; each point is an independent deployment.
+
+    With *crash_controller*, every point's schedule also kills the
+    controller mid-run and recovers it from its journal, so the sweep
+    doubles as a crash-recovery measurement.
+    """
     stats = stats if stats is not None else RunStats()
     cache = resolve_cache(cache, stats)
     context = (
-        scale, seed, num_outages, cache.root if cache is not None else None,
+        scale,
+        seed,
+        num_outages,
+        cache.root if cache is not None else None,
+        crash_controller,
     )
     points = run_trials(
         _point_worker,

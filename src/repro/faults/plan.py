@@ -49,6 +49,12 @@ class FaultKind(enum.Enum):
     #: a successful sentinel repair-probe reply is lost, so a repaired
     #: failure looks unrepaired for another check interval.
     SENTINEL_FALSE_NEGATIVE = "sentinel-false-negative"
+    #: the LIFEGUARD controller process dies at ``start`` and is restarted
+    #: (recovered from its journal) at ``end``.  The network keeps running:
+    #: announcements stay up, outages keep evolving — only the control
+    #: loop's memory is lost.  Fired by the experiment harness, which owns
+    #: the controller's lifecycle; the injector just schedules it.
+    CONTROLLER_CRASH = "controller-crash"
 
 
 #: Kinds driven by a per-event probability (``rate``).
@@ -100,6 +106,15 @@ class FaultSpec:
             if not math.isfinite(self.start):
                 raise ControlError(
                     "BGP_SESSION_RESET needs a finite start time"
+                )
+        if self.kind is FaultKind.CONTROLLER_CRASH:
+            if not math.isfinite(self.start) or not math.isfinite(self.end):
+                raise ControlError(
+                    "CONTROLLER_CRASH needs finite crash and restart times"
+                )
+            if self.end < self.start:
+                raise ControlError(
+                    "CONTROLLER_CRASH restart precedes the crash"
                 )
 
 
@@ -163,6 +178,7 @@ class FaultPlan:
         end: float = float("inf"),
         crashes: Sequence[Tuple[str, float, float]] = (),
         resets: Sequence[Tuple[int, int, float]] = (),
+        controller_crashes: Sequence[Tuple[float, float]] = (),
         probe_timeout_latency: float = 5.0,
     ) -> "FaultPlan":
         """The one-knob chaos schedule used by the robustness bench.
@@ -171,9 +187,11 @@ class FaultPlan:
         ``intensity``, latency spikes and BGP message drops at half of it,
         duplication and atlas corruption at a quarter, sentinel false
         negatives at ``intensity``.  *crashes* lists
-        ``(vp_name, t_down, t_up)`` windows and *resets* lists
-        ``(as_a, as_b, t)`` session resets; both are dropped entirely at
-        intensity 0 so a zero-intensity plan is empty.
+        ``(vp_name, t_down, t_up)`` windows, *resets* lists
+        ``(as_a, as_b, t)`` session resets, and *controller_crashes* lists
+        ``(t_crash, t_restart)`` kill/recover windows for the controller
+        itself; all are dropped entirely at intensity 0 so a
+        zero-intensity plan is empty.
         """
         if not 0.0 <= intensity <= 1.0:
             raise ControlError(f"intensity {intensity} outside [0, 1]")
@@ -222,6 +240,14 @@ class FaultPlan:
                     session=(as_a, as_b),
                     start=when,
                     end=when,
+                )
+            )
+        for t_crash, t_restart in controller_crashes:
+            plan.add(
+                FaultSpec(
+                    FaultKind.CONTROLLER_CRASH,
+                    start=t_crash,
+                    end=t_restart,
                 )
             )
         return plan

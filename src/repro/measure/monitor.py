@@ -141,6 +141,24 @@ class PingMonitor:
             return MonitorEvent.OUTAGE_STARTED
         return MonitorEvent.FAILING
 
+    def adopt_outage(self, outage: OutageRecord) -> None:
+        """Take ownership of an outage reconstructed from a journal.
+
+        Crash recovery hands still-open outages back to a fresh monitor so
+        detection state resumes: the pair is marked mid-outage (a later
+        successful round ends *this* record instead of silently resetting)
+        and the record shows up in :meth:`ongoing_outages` immediately,
+        rather than being re-detected minutes later as a brand-new outage.
+        """
+        state = self._state.setdefault(
+            (outage.vp_name, outage.destination.value), _PairState()
+        )
+        state.current_outage = outage
+        state.consecutive_failures = CONSECUTIVE_FAILURES_FOR_OUTAGE
+        state.first_failure_time = outage.start
+        if outage not in self.outages:
+            self.outages.append(outage)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

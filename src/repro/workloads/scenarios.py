@@ -173,6 +173,9 @@ def build_chaos_deployment(
     chaos_end: float = float("inf"),
     crash_helper: bool = True,
     reset_session: bool = True,
+    crash_controller: bool = False,
+    controller_crash_at: float = 4000.0,
+    controller_down_for: float = 300.0,
     **deployment_kwargs,
 ) -> Tuple[DeploymentScenario, FaultInjector]:
     """The standard deployment with a fault injector attached.
@@ -181,9 +184,12 @@ def build_chaos_deployment(
     ``[chaos_start, chaos_end)``: stochastic probe loss / latency spikes /
     BGP message faults / atlas corruption / sentinel false negatives, plus
     (at nonzero intensity) one helper vantage-point crash window and one
-    transit BGP session reset.  At intensity 0 the plan is empty, so the
-    attached injector must be observationally absent — the reproducibility
-    property the test suite pins.
+    transit BGP session reset.  With *crash_controller*, a
+    CONTROLLER_CRASH is scheduled at ``chaos_start + controller_crash_at``
+    (the experiment harness polls for it and rebuilds the controller from
+    its journal after *controller_down_for* seconds).  At intensity 0 the
+    plan is empty, so the attached injector must be observationally absent
+    — the reproducibility property the test suite pins.
     """
     scenario = build_deployment(scale=scale, seed=seed, **deployment_kwargs)
     crashes = []
@@ -195,6 +201,10 @@ def build_chaos_deployment(
     if reset_session:
         as_a, as_b = _transit_session(scenario.graph, scenario.origin_asn)
         resets.append((as_a, as_b, chaos_start + 2100.0))
+    controller_crashes = []
+    if crash_controller:
+        when = chaos_start + controller_crash_at
+        controller_crashes.append((when, when + controller_down_for))
     plan = FaultPlan.standard(
         intensity,
         seed=seed + 1,
@@ -202,6 +212,7 @@ def build_chaos_deployment(
         end=chaos_end,
         crashes=crashes,
         resets=resets,
+        controller_crashes=controller_crashes,
     )
     injector = FaultInjector(plan)
     injector.attach(scenario.lifeguard)

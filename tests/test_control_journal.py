@@ -1,0 +1,103 @@
+"""Unit tests for the write-ahead repair journal."""
+
+import json
+
+import pytest
+
+from repro.control.journal import (
+    JOURNAL_VERSION,
+    RepairJournal,
+    key_from_json,
+    key_to_json,
+    outage_key,
+)
+from repro.errors import ControlError
+
+KEY = outage_key("origin", "0.6.0.1", 1020.0)
+
+
+class TestOutageKey:
+    def test_key_is_stable_across_equal_inputs(self):
+        assert KEY == outage_key("origin", "0.6.0.1", 1020)
+
+    def test_json_roundtrip(self):
+        assert key_from_json(key_to_json(KEY)) == KEY
+
+
+class TestInMemoryJournal:
+    def test_append_returns_entry_with_version_and_time(self):
+        journal = RepairJournal()
+        entry = journal.append("poison", 1200.0, key=KEY, asn=7)
+        assert entry["v"] == JOURNAL_VERSION
+        assert entry["t"] == 1200.0
+        assert entry["event"] == "poison"
+        assert entry["asn"] == 7
+        assert entry["outage"] == key_to_json(KEY)
+
+    def test_none_fields_are_dropped(self):
+        journal = RepairJournal()
+        entry = journal.append("state", 0.0, key=KEY, reason=None, asn=7)
+        assert "reason" not in entry
+        assert entry["asn"] == 7
+
+    def test_global_entries_have_no_outage(self):
+        journal = RepairJournal()
+        entry = journal.append("announce-baseline", 0.0)
+        assert "outage" not in entry
+
+    def test_of_event_and_for_outage_filters(self):
+        journal = RepairJournal()
+        other = outage_key("helper0", "0.9.0.1", 2000.0)
+        journal.append("observed", 1020.0, key=KEY)
+        journal.append("observed", 2000.0, key=other)
+        journal.append("poison", 1300.0, key=KEY, asn=7)
+        assert len(journal.of_event("observed")) == 2
+        assert len(journal.for_outage(KEY)) == 2
+        assert len(journal.for_outage(other)) == 1
+        assert len(journal) == 3
+        assert len(list(journal)) == 3
+
+
+class TestPersistedJournal:
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = RepairJournal(path)
+        journal.append("announce-baseline", 0.0)
+        journal.append("poison", 1300.0, key=KEY, asn=7, control=["0.9.0.1"])
+        journal.close()
+
+        loaded = RepairJournal.load(path)
+        assert loaded.entries == journal.entries
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = RepairJournal(path)
+        journal.append("poison", 1300.0, key=KEY, asn=7)
+        journal.close()
+        with open(path, encoding="utf-8") as handle:
+            line = handle.readline().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ControlError, match="malformed"):
+            RepairJournal.load(str(path))
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"v": 999, "t": 0.0, "event": "observed"}) + "\n"
+        )
+        with pytest.raises(ControlError, match="version"):
+            RepairJournal.load(str(path))
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            json.dumps(
+                {"v": JOURNAL_VERSION, "t": 0.0, "event": "observed"}
+            )
+            + "\n\n"
+        )
+        assert len(RepairJournal.load(str(path))) == 1

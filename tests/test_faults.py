@@ -61,13 +61,17 @@ class TestFaultPlan:
             0.0,
             crashes=[("helper0", 100.0, 200.0)],
             resets=[(1, 2, 50.0)],
+            controller_crashes=[(300.0, 600.0)],
         )
         assert plan.specs == []
         assert plan.is_null
 
     def test_standard_nonzero_has_all_kinds(self):
         plan = FaultPlan.standard(
-            0.2, crashes=[("helper0", 1.0, 2.0)], resets=[(1, 2, 3.0)]
+            0.2,
+            crashes=[("helper0", 1.0, 2.0)],
+            resets=[(1, 2, 3.0)],
+            controller_crashes=[(4.0, 5.0)],
         )
         kinds = {spec.kind for spec in plan.specs}
         assert kinds == set(FaultKind)
