@@ -111,8 +111,14 @@ class AnnouncementPacer:
         self.times.append(now)
 
     def restore(self, times: List[float]) -> None:
-        """Reinstate replayed announcement times during crash recovery."""
-        self.times = sorted(set(self.times) | set(times))
+        """Reinstate replayed announcement times during crash recovery.
+
+        The journal is the authority and announcements are a multiset:
+        two repairs announced in the same tick are two units of damping
+        penalty, so equal timestamps must not collapse (a set union
+        would under-count the budget after recovery).
+        """
+        self.times = sorted(times)
 
 
 class OriginController:
@@ -309,7 +315,7 @@ class OriginController:
         self,
         ledger: Dict[str, Tuple[str, Tuple[int, ...]]],
         announcement_times: Optional[List[float]] = None,
-    ) -> None:
+    ) -> bool:
         """Reinstate intended announcement state after a controller crash.
 
         The network (the engine) still carries whatever the dead controller
@@ -318,7 +324,9 @@ class OriginController:
         — when any poison should be active — re-issues the union once,
         which converges as a no-op if the network already matches.  The
         pacer is re-seeded from journaled announcement times so the budget
-        survives the restart.
+        survives the restart.  Returns True if the reconcile announcement
+        actually went out, so the caller can journal it (the pacer entry it
+        records must survive a second crash).
         """
         if announcement_times:
             self.pacer.restore(announcement_times)
@@ -326,7 +334,8 @@ class OriginController:
             k: (mode, tuple(asns)) for k, (mode, asns) in ledger.items()
         }
         if self._ledger:
-            self._apply_ledger("recover-reconcile")
+            return self._apply_ledger("recover-reconcile")
+        return False
 
     def _apply(self, description: str) -> None:
         per_neighbor = {

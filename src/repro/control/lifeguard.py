@@ -326,7 +326,10 @@ class Lifeguard:
     @staticmethod
     def _ledger_key(key: OutageKey) -> str:
         vp, dst, start = key
-        return f"{vp}|{dst}|{start:g}"
+        # Full float precision: '{:g}' keeps 6 significant digits, which
+        # collides distinct outage starts in long runs (1.2096e+07 covers
+        # a 30 s-spaced pair), cross-wiring two repairs' ledger entries.
+        return f"{vp}|{dst}|{start!r}"
 
     @staticmethod
     def _pair_key(record: RepairRecord) -> Tuple[str, str]:
@@ -521,6 +524,9 @@ class Lifeguard:
             self._journal(
                 "isolation-spend", record, now, used=budget.used
             )
+            # Back to OBSERVED so ongoing_outages() revisits the record
+            # once the backoff elapses (ISOLATED is never re-ticked).
+            record.state = RepairState.OBSERVED
             self._journal("deferred", record, now, why="breaker-backoff")
             self._note_once(
                 record,
@@ -536,6 +542,7 @@ class Lifeguard:
             self._journal(
                 "isolation-spend", record, now, used=budget.used
             )
+            record.state = RepairState.OBSERVED
             self._journal("deferred", record, now, why="pacing")
             self._note_once(
                 record,
@@ -894,9 +901,11 @@ class Lifeguard:
                 if state in (
                     RepairState.VERIFYING, RepairState.POISONED
                 ) and "poison_time" in entry:
-                    self._last_repair_check.setdefault(
-                        key, entry["poison_time"]
-                    )
+                    # Assign, not setdefault: a record rolled back and
+                    # re-poisoned must schedule off the *latest* poison,
+                    # exactly as the live _poison() did.  Later
+                    # repair-check entries overwrite this in order.
+                    self._last_repair_check[key] = entry["poison_time"]
         # Reconcile origin intent: re-assert the union of in-flight
         # poisons (no-op convergence when the network already has them).
         ledger = {}
@@ -908,7 +917,10 @@ class Lifeguard:
                     poison_modes.get(key, "poison"),
                     (record.poisoned_asn,),
                 )
-        self.origin.restore(ledger, announce_times)
+        if self.origin.restore(ledger, announce_times):
+            # The reconcile re-announcement consumed a pacer slot; journal
+            # it so the pacer budget survives a second crash too.
+            self.journal.append("announced", self.engine.now)
         self.engine.run()
         self.refresh_dataplane()
         # Ongoing outages survive the controller, not the other way round:

@@ -216,3 +216,76 @@ class TestIncrementalAtlasMode:
             entry = atlas.latest_reverse(vp.name, scenario.targets[0])
             if entry is not None:
                 assert entry.hops
+
+
+class TestDeferralRetry:
+    """Breaker-backoff and pacing deferrals must land the record back in
+    OBSERVED so later ticks retry it.  Regression: both branches once left
+    the record in ISOLATED, a state tick() never revisits, so a deferred
+    poison was silently abandoned forever (and diverged from journal
+    replay, which maps 'deferred' to OBSERVED)."""
+
+    def _scenario_with_failure(self, end=8200.0):
+        scenario = build_deployment(scale="tiny", seed=5, num_providers=2)
+        lifeguard = scenario.lifeguard
+        bad_asn = _first_transit_on_reverse_path(scenario)
+        lifeguard.prime_atlas(now=0.0)
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=bad_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=1000.0,
+                end=end,
+            )
+        )
+        return scenario, lifeguard, bad_asn
+
+    def test_pacing_deferral_is_retried_once_budget_frees(self):
+        scenario, lifeguard, bad_asn = self._scenario_with_failure()
+        # Spend the whole announcement budget just before the decision
+        # point, so the first poison attempt hits the flap-damping guard.
+        spent_at = 1300.0
+        lifeguard.origin.pacer.times.extend(
+            [spent_at] * lifeguard.config.announce_budget
+        )
+        lifeguard.run(start=30.0, end=9600.0)
+
+        deferrals = [
+            e
+            for e in lifeguard.journal.of_event("deferred")
+            if e.get("why") == "pacing"
+        ]
+        assert deferrals
+        record = next(
+            r for r in lifeguard.records if r.poisoned_asn == bad_asn
+        )
+        # The poison happened -- after the budget freed, not never.
+        free_at = spent_at + lifeguard.config.announce_window
+        assert record.poison_time >= free_at
+        assert all(e["t"] < free_at for e in deferrals)
+        assert record.state is RepairState.UNPOISONED
+
+    def test_breaker_backoff_deferral_is_retried_after_backoff(self):
+        scenario, lifeguard, bad_asn = self._scenario_with_failure()
+        # A prior rollback of bad_asn is on the books for every monitored
+        # pair: the first poison attempt lands in BACKOFF, not CLOSED.
+        failed_at = 1300.0
+        for vp in scenario.vantage_points.names():
+            for dst in scenario.targets:
+                lifeguard.guard.breaker.record_failure(
+                    (vp, str(dst)), bad_asn, failed_at
+                )
+        lifeguard.run(start=30.0, end=9600.0)
+
+        deferrals = [
+            e
+            for e in lifeguard.journal.of_event("deferred")
+            if e.get("why") == "breaker-backoff"
+        ]
+        assert deferrals
+        record = next(
+            r for r in lifeguard.records if r.poisoned_asn == bad_asn
+        )
+        retry_at = failed_at + lifeguard.config.breaker_backoff
+        assert record.poison_time >= retry_at
+        assert record.state is RepairState.UNPOISONED
