@@ -100,6 +100,8 @@ class BGPEngine:
                                            Optional[str]]] = None
         #: BGP session resets performed (chaos accounting).
         self.session_resets = 0
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
         speaker_configs = speaker_configs or {}
         for asn in graph.ases():
             neighbor_rels = {
@@ -217,6 +219,11 @@ class BGPEngine:
             ):
                 self._flush_session(src, dst, prefix)
         self.session_resets += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "bgp.session-reset", self.now, "bgp.engine",
+                subject=f"AS{as_a}<->AS{as_b}", as_a=as_a, as_b=as_b,
+            )
         return True
 
     def advance_to(self, time: float) -> None:
@@ -268,6 +275,11 @@ class BGPEngine:
             _, src, dst, prefix = event
             session = self._sessions[(src, dst)]
             session.timer_pending.discard(prefix)
+            if self.obs is not None:
+                self.obs.emit(
+                    "bgp.mrai-flush", self.now, "bgp.engine",
+                    subject=str(prefix), src=src, dst=dst,
+                )
             self._flush_session(src, dst, prefix)
         elif kind == "damping-reuse":
             _, asn, prefix, neighbor = event
@@ -317,6 +329,13 @@ class BGPEngine:
             time=self.now, asn=asn, prefix=prefix, old=old, new=new
         )
         self.change_log.append(change)
+        if self.obs is not None:
+            self.obs.emit(
+                "bgp.decision-change", self.now, "bgp.engine",
+                subject=str(prefix), asn=asn,
+                old_path=list(old.as_path) if old else None,
+                new_path=list(new.as_path) if new else None,
+            )
         if self.on_change is not None:
             self.on_change(change)
 
@@ -367,6 +386,13 @@ class BGPEngine:
         self.updates_sent[(src, dst)] = (
             self.updates_sent.get((src, dst), 0) + 1
         )
+        if self.obs is not None:
+            self.obs.emit(
+                "bgp.update-sent", self.now, "bgp.engine",
+                subject=str(prefix), src=src, dst=dst,
+                update="withdraw" if desired is None else "announce",
+                path=list(desired.as_path) if desired is not None else None,
+            )
         deliveries = 1
         if self.fault_hook is not None:
             action = self.fault_hook(src, dst, update)

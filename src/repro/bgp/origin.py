@@ -163,6 +163,8 @@ class OriginController:
         self.pacer = pacer if pacer is not None else AnnouncementPacer()
         #: history of (time, description) announcement changes.
         self.log: List[Tuple[float, str]] = []
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Announcement lifecycle
@@ -351,6 +353,13 @@ class OriginController:
         )
         self.pacer.record(self.engine.now)
         self.log.append((self.engine.now, description))
+        if self.obs is not None:
+            self.obs.emit(
+                "origin.announce", self.engine.now, "bgp.origin",
+                subject=str(self.production_prefix),
+                description=description,
+                poisoned=list(self.currently_poisoned),
+            )
 
     # ------------------------------------------------------------------
     # State

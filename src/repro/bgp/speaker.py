@@ -73,6 +73,8 @@ class BGPSpeaker:
             n for n, rel in self.neighbors.items()
             if rel is Relationship.PEER
         }
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Origination
@@ -259,6 +261,13 @@ class BGPSpeaker:
             ratio = penalty / config.damping_reuse_threshold
             delay = config.damping_half_life * math.log2(ratio)
             self._pending_reuse.append((prefix, neighbor, now + delay))
+            if self.obs is not None:
+                self.obs.emit(
+                    "bgp.damping-suppress", now, "bgp.speaker",
+                    subject=str(prefix), asn=self.asn, neighbor=neighbor,
+                    penalty=round(penalty, 6),
+                    reuse_at=round(now + delay, 6),
+                )
 
     def drain_pending_reuse(self) -> List[Tuple[Prefix, int, float]]:
         """Reuse-timer events the engine should schedule (consumed)."""
@@ -282,6 +291,11 @@ class BGPSpeaker:
             )
             return prefix, False
         self._suppressed.discard(key)
+        if self.obs is not None:
+            self.obs.emit(
+                "bgp.damping-release", now, "bgp.speaker",
+                subject=str(prefix), asn=self.asn, neighbor=neighbor,
+            )
         _, changed = self._reselect(prefix)
         return prefix, changed
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from datetime import date
 from typing import List, Optional
@@ -16,6 +17,21 @@ from typing import List, Optional
 from repro.analysis.reporting import Table
 from repro.analysis.residual import residual_duration_curve
 from repro.workloads.outages import generate_outage_trace
+
+
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write a deterministic metrics snapshot (JSON) to this path",
+    )
+
+
+def _write_metrics(args: argparse.Namespace, stats) -> None:
+    """Honor ``--metrics-out`` for a command that threaded a RunStats."""
+    if getattr(args, "metrics_out", None):
+        from repro.obs.export import write_metrics_snapshot
+
+        write_metrics_snapshot(stats, args.metrics_out)
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -54,11 +70,14 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.convergence import (
         run_poisoning_convergence_study,
     )
+    from repro.runner.stats import RunStats
 
+    stats = RunStats()
     study, _graph = run_poisoning_convergence_study(
         scale=args.scale, seed=args.seed, max_poisons=args.max_poisons,
-        workers=args.workers,
+        workers=args.workers, stats=stats,
     )
+    _write_metrics(args, stats)
     table = Table(
         "Fig. 6: convergence after poisoning",
         ["curve", "peers", "instant", "within 50s"],
@@ -82,11 +101,14 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
 def _cmd_efficacy(args: argparse.Namespace) -> int:
     from repro.experiments.efficacy import run_topology_efficacy_study
+    from repro.runner.stats import RunStats
 
+    stats = RunStats()
     study, _graph = run_topology_efficacy_study(
         scale=args.scale, seed=args.seed, max_cases=args.max_cases,
-        workers=args.workers,
+        workers=args.workers, stats=stats,
     )
+    _write_metrics(args, stats)
     table = Table("Sec 5.1: simulated poisoning efficacy",
                   ["metric", "value"])
     table.add_row("cases", len(study.outcomes))
@@ -98,11 +120,14 @@ def _cmd_efficacy(args: argparse.Namespace) -> int:
 
 def _cmd_accuracy(args: argparse.Namespace) -> int:
     from repro.experiments.accuracy import run_isolation_accuracy_study
+    from repro.runner.stats import RunStats
 
+    stats = RunStats()
     study, _scenario = run_isolation_accuracy_study(
         scale=args.scale, seed=args.seed, num_cases=args.cases,
-        reply_loss_rate=0.05, workers=args.workers,
+        reply_loss_rate=0.05, workers=args.workers, stats=stats,
     )
+    _write_metrics(args, stats)
     table = Table("Sec 5.3: isolation accuracy", ["metric", "value"])
     table.add_row("cases", len(study.cases))
     table.add_row("accuracy (ground truth)", study.accuracy)
@@ -134,34 +159,10 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     """The quickstart repair loop, inline (same story as the example)."""
-    from repro.dataplane.failures import ASForwardingFailure
-    from repro.workloads.scenarios import build_deployment
+    from repro.workloads.scenarios import run_demo_scenario
 
-    scenario = build_deployment(scale="tiny", seed=args.seed,
-                                num_providers=2)
+    scenario, bad_asn = run_demo_scenario(seed=args.seed)
     lifeguard = scenario.lifeguard
-    topo = scenario.topo
-    target = scenario.targets[0]
-    origin_router = topo.routers_of(scenario.origin_asn)[0]
-    target_rid = lifeguard.dataplane.host_router(target)
-    walk = lifeguard.dataplane.forward(
-        target_rid, topo.router(origin_router).address
-    )
-    bad_asn = next(
-        a
-        for a in walk.as_level_hops(topo)[1:-1]
-        if a != scenario.origin_asn
-    )
-    lifeguard.prime_atlas(now=0.0)
-    lifeguard.dataplane.failures.add(
-        ASForwardingFailure(
-            asn=bad_asn,
-            toward=lifeguard.sentinel_manager.sentinel,
-            start=1000.0,
-            end=8200.0,
-        )
-    )
-    lifeguard.run(start=30.0, end=9600.0)
     table = Table("LIFEGUARD repair demo", ["event", "value"])
     for record in lifeguard.records:
         if record.poisoned_asn != bad_asn:
@@ -176,12 +177,81 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the demo scenario under observation and print its repair
+    timeline (or check cross-worker event-log determinism)."""
+    from repro.obs import (
+        EventBus,
+        MetricsRegistry,
+        assemble_timelines,
+        render_timelines,
+    )
+    from repro.obs.export import (
+        check_trace_determinism,
+        resolve_trace_dir,
+        write_events_jsonl,
+        write_metrics_snapshot,
+    )
+    from repro.workloads.scenarios import run_demo_scenario
+
+    if args.check_determinism:
+        # A shortened horizon: the full demo story in miniature (outage,
+        # poison, repair) x N demo runs has to stay CI-cheap.
+        results = check_trace_determinism(
+            seeds=(args.seed,),
+            workers=args.check_determinism,
+            fail_end=2400.0,
+            end=3000.0,
+        )
+        ok = all(blob["match"] for blob in results.values())
+        for seed, blob in sorted(results.items()):
+            status = "MATCH" if blob["match"] else "MISMATCH"
+            print(
+                f"seed {seed}: workers=1 {blob['serial'][:16]}… vs "
+                f"workers={args.check_determinism} "
+                f"{blob['parallel'][:16]}… -> {status}"
+            )
+        if not ok:
+            print("event-log digest differs across worker counts",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    registry = MetricsRegistry()
+    bus = EventBus(metrics=registry)
+    run_demo_scenario(seed=args.seed, obs=bus)
+    timelines = assemble_timelines(bus.events())
+    print(render_timelines(timelines))
+    print()
+    print(f"events: {bus.total} ({len(bus.counts)} kinds), "
+          f"digest {bus.digest()[:16]}…")
+
+    trace_dir = resolve_trace_dir(args.trace_dir)
+    events_out = args.events_out or (
+        os.path.join(trace_dir, f"trace-seed{args.seed}-events.jsonl")
+        if trace_dir else None
+    )
+    metrics_out = args.metrics_out or (
+        os.path.join(trace_dir, f"trace-seed{args.seed}-metrics.json")
+        if trace_dir else None
+    )
+    if events_out:
+        count = write_events_jsonl(bus.events(), events_out)
+        print(f"wrote {count} events to {events_out}")
+    if metrics_out:
+        write_metrics_snapshot(registry, metrics_out)
+        print(f"wrote metrics snapshot to {metrics_out}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.robustness import run_robustness_study
+    from repro.runner.stats import RunStats
 
     intensities = (
         tuple(args.intensity) if args.intensity else (0.0, 0.1, 0.3)
     )
+    run_stats = RunStats()
     study = run_robustness_study(
         scale=args.scale,
         seed=args.seed,
@@ -189,7 +259,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         num_outages=args.outages,
         workers=args.workers,
         crash_controller=args.crash_controller,
+        stats=run_stats,
     )
+    _write_metrics(args, run_stats)
     table = Table(
         "Chaos: repair under infrastructure faults",
         ["intensity", "injected", "detected", "repaired", "unpoisoned",
@@ -226,14 +298,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.bench import run_bench_suite
+    from repro.runner.stats import RunStats
 
+    stats = RunStats()
     doc = run_bench_suite(
         scale=args.scale,
         seed=args.seed,
         workers=args.workers,
         only=args.only or None,
         cache=args.cache_dir,
+        stats=stats,
     )
+    _write_metrics(args, stats)
     output = args.output or f"BENCH_{date.today().isoformat()}.json"
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
@@ -281,16 +357,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="small")
     p.add_argument("--max-poisons", type=int, default=10)
     p.add_argument("--workers", type=int, default=1)
+    _add_metrics_out(p)
     p.set_defaults(func=_cmd_fig6)
     p = sub.add_parser("efficacy", help="simulated poisoning efficacy")
     p.add_argument("--scale", default="medium")
     p.add_argument("--max-cases", type=int, default=30000)
     p.add_argument("--workers", type=int, default=1)
+    _add_metrics_out(p)
     p.set_defaults(func=_cmd_efficacy)
     p = sub.add_parser("accuracy", help="isolation accuracy study")
     p.add_argument("--scale", default="small")
     p.add_argument("--cases", type=int, default=40)
     p.add_argument("--workers", type=int, default=1)
+    _add_metrics_out(p)
     p.set_defaults(func=_cmd_accuracy)
     sub.add_parser("table2", help="update-load model").set_defaults(
         func=_cmd_table2
@@ -298,6 +377,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="end-to-end repair demo").set_defaults(
         func=_cmd_demo
     )
+    p = sub.add_parser(
+        "trace",
+        help="run the demo under observation and print the repair "
+             "timeline (spans with causal BGP-update references)",
+    )
+    p.add_argument(
+        "--events-out", default=None,
+        help="write the event log (canonical JSONL) to this path",
+    )
+    p.add_argument(
+        "--trace-dir", default=None,
+        help="directory for default-named artifacts "
+             "(default: $REPRO_TRACE_DIR, unset = no artifacts)",
+    )
+    p.add_argument(
+        "--check-determinism", type=int, default=0, metavar="WORKERS",
+        help="instead of tracing, assert the event-log digest is "
+             "identical at workers=1 and workers=WORKERS (exit 1 on "
+             "mismatch)",
+    )
+    _add_metrics_out(p)
+    p.set_defaults(func=_cmd_trace)
     p = sub.add_parser(
         "chaos", help="robustness under injected infrastructure faults"
     )
@@ -315,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="kill the controller mid-run and recover it from its journal",
     )
+    _add_metrics_out(p)
     p.set_defaults(func=_cmd_chaos)
     p = sub.add_parser(
         "bench",
@@ -336,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="topology/convergence cache directory "
              "(default: $REPRO_CACHE_DIR, unset = no cache)",
     )
+    _add_metrics_out(p)
     p.set_defaults(func=_cmd_bench)
     return parser
 

@@ -154,6 +154,8 @@ class RepairGuard:
         self.prober = prober
         self.vantage_points = vantage_points
         self.breaker = breaker if breaker is not None else PoisonBreaker()
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Pre-poison: capture what currently works
@@ -193,7 +195,9 @@ class RepairGuard:
     ) -> VerifyOutcome:
         """One verification round from *vp_name* through the poisoned path."""
         if not self.vantage_points.is_up(vp_name):
-            return VerifyOutcome(verdict=VerifyVerdict.DEFERRED)
+            outcome = VerifyOutcome(verdict=VerifyVerdict.DEFERRED)
+            self._emit_verify(vp_name, destination, now, outcome)
+            return outcome
         vp = self.vantage_points.get(vp_name)
         self.prober.dataplane.now = now
         before = self.prober.probes_sent
@@ -209,9 +213,28 @@ class RepairGuard:
             verdict = VerifyVerdict.INEFFECTIVE
         else:
             verdict = VerifyVerdict.EFFECTIVE
-        return VerifyOutcome(
+        outcome = VerifyOutcome(
             verdict=verdict,
             target_reachable=target_ok,
             collateral_dark=dark,
             probes_used=probes,
         )
+        self._emit_verify(vp_name, destination, now, outcome)
+        return outcome
+
+    def _emit_verify(
+        self,
+        vp_name: str,
+        destination: Address,
+        now: float,
+        outcome: VerifyOutcome,
+    ) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                "guard.verify", now, "control.guard",
+                subject=f"{vp_name}|{destination}",
+                verdict=outcome.verdict.value,
+                target_reachable=outcome.target_reachable,
+                collateral_dark=len(outcome.collateral_dark),
+                probes=outcome.probes_used,
+            )

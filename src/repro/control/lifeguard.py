@@ -258,6 +258,8 @@ class Lifeguard:
         self._journaled_ends: Set[OutageKey] = set()
         #: optional :class:`~repro.faults.FaultInjector`; set by attach().
         self.injector = None
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     @property
     def mode(self) -> OperatingMode:
@@ -269,9 +271,28 @@ class Lifeguard:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
+    def attach_observer(self, bus) -> None:
+        """Wire an :class:`~repro.obs.events.EventBus` through every
+        instrumented subsystem.
+
+        Each component holds a duck-typed ``obs`` attribute, so none of
+        them imports ``repro.obs``; this is the single place the wiring
+        happens.  Call any time — before :meth:`announce` to capture the
+        baseline announcements too.
+        """
+        self.obs = bus
+        self.engine.obs = bus
+        for speaker in self.engine.speakers.values():
+            speaker.obs = bus
+        self.prober.obs = bus
+        self.monitor.obs = bus
+        self.isolator.obs = bus
+        self.guard.obs = bus
+        self.origin.obs = bus
+
     def announce(self) -> None:
         """Announce the baseline (prepended) production + sentinel prefixes."""
-        self.journal.append("announce-baseline", self.engine.now)
+        self._journal("announce-baseline", None, self.engine.now)
         self.origin.announce_baseline()
         self.engine.run()
         self.refresh_dataplane()
@@ -297,6 +318,16 @@ class Lifeguard:
     ) -> None:
         key = record.key if record is not None else None
         self.journal.append(event, now, key=key, **fields)
+        if self.obs is not None:
+            # Mirror the write-ahead journal onto the event bus: one
+            # control.* event per journal entry, with the outage's ledger
+            # key as the subject so the tracer can thread a repair's
+            # lifecycle back together.
+            self.obs.emit(
+                f"control.{event}", now, "control.lifeguard",
+                subject=self._ledger_key(key) if key else None,
+                **fields,
+            )
 
     def _set_state(
         self,
@@ -608,6 +639,10 @@ class Lifeguard:
         converged_at = self.engine.run()
         self._last_repair_check[record.key] = now
         self.refresh_dataplane()
+        if self.obs is not None:
+            self.obs.observe(
+                "repair.convergence_seconds", max(0.0, converged_at - now)
+            )
         state = (
             RepairState.VERIFYING
             if self.config.verify_repairs
@@ -789,7 +824,8 @@ class Lifeguard:
         The *engine*, *topo*, *vantage_points* — and *failures*, the
         ground-truth data-plane failure set — are the surviving world: a
         controller crash does not withdraw announcements, restart routers,
-        or repair the failures it was trying to route around.  Replaying the journal reconstructs every record (and the
+        or repair the failures it was trying to route around.
+        Replaying the journal reconstructs every record (and the
         breaker, pacer and repair-check bookkeeping behind it); the origin
         controller is then reconciled so its intended announcement state —
         the union of in-flight poisons — is re-asserted, which converges
@@ -920,7 +956,7 @@ class Lifeguard:
         if self.origin.restore(ledger, announce_times):
             # The reconcile re-announcement consumed a pacer slot; journal
             # it so the pacer budget survives a second crash too.
-            self.journal.append("announced", self.engine.now)
+            self._journal("announced", None, self.engine.now)
         self.engine.run()
         self.refresh_dataplane()
         # Ongoing outages survive the controller, not the other way round:
@@ -930,8 +966,8 @@ class Lifeguard:
             if record.outage.end is None:
                 self.monitor.adopt_outage(record.outage)
                 adopted += 1
-        self.journal.append(
-            "recovered", now,
+        self._journal(
+            "recovered", None, now,
             records=len(self.records),
             active_poisons=len(ledger),
             adopted_outages=adopted,

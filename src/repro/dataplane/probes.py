@@ -122,6 +122,8 @@ class Prober:
         self.retries_used = 0
         #: cumulative backoff the retries would have waited (seconds).
         self.retry_wait_seconds = 0.0
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     def reseed(self, seed: int) -> None:
         """Replace the prober's RNG stream (reply-loss draws).
@@ -216,6 +218,26 @@ class Prober:
         this way to test whether a poisoned path has been repaired.
         """
         destination = Address(destination)
+        result = self._ping(
+            source_rid, destination, receive_at, claimed_address
+        )
+        if self.obs is not None:
+            self.obs.emit(
+                "probe.ping", self.dataplane.now, "dataplane.prober",
+                subject=f"{source_rid}->{destination}",
+                success=result.success,
+                spoofed=receive_at is not None
+                or claimed_address is not None,
+            )
+        return result
+
+    def _ping(
+        self,
+        source_rid: str,
+        destination: Address,
+        receive_at: Optional[str] = None,
+        claimed_address: Optional[Address] = None,
+    ) -> PingResult:
         if self._probe_blocked(source_rid) or self._receiver_crashed(
             receive_at
         ):
@@ -287,6 +309,25 @@ class Prober:
         source with a broken reverse path still see its forward path.
         """
         destination = Address(destination)
+        result = self._traceroute(
+            source_rid, destination, receive_at, max_ttl
+        )
+        if self.obs is not None:
+            self.obs.emit(
+                "probe.traceroute", self.dataplane.now, "dataplane.prober",
+                subject=f"{source_rid}->{destination}",
+                reached=result.reached, hops=len(result.hops),
+                spoofed=receive_at is not None,
+            )
+        return result
+
+    def _traceroute(
+        self,
+        source_rid: str,
+        destination: Address,
+        receive_at: Optional[str] = None,
+        max_ttl: int = _TRACEROUTE_MAX_TTL,
+    ) -> TracerouteResult:
         claimed = self._address_of(receive_at or source_rid)
         result = TracerouteResult(source=source_rid, destination=destination)
         # One fault draw covers the whole measurement: a traceroute whose
@@ -347,6 +388,26 @@ class Prober:
         separates the reply-side stamps for the caller.
         """
         destination = Address(destination)
+        result = self._rr_ping(
+            source_rid, destination, receive_at, claimed_address
+        )
+        if self.obs is not None:
+            self.obs.emit(
+                "probe.rr-ping", self.dataplane.now, "dataplane.prober",
+                subject=f"{source_rid}->{destination}",
+                success=result.success, recorded=len(result.recorded),
+                spoofed=receive_at is not None
+                or claimed_address is not None,
+            )
+        return result
+
+    def _rr_ping(
+        self,
+        source_rid: str,
+        destination: Address,
+        receive_at: Optional[str] = None,
+        claimed_address: Optional[Address] = None,
+    ) -> "RecordRouteResult":
         if self._probe_blocked(source_rid) or self._receiver_crashed(
             receive_at
         ):

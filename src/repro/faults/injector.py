@@ -87,6 +87,7 @@ class RetryBudget:
                 f"{what}: retry budget ({self.limit}) exhausted",
                 vp=vp,
                 target=target,
+                component="faults.retry-budget",
             )
         self.used += 1
 

@@ -114,6 +114,8 @@ class FailureIsolator:
         self.direction_isolator = DirectionIsolator(prober)
         self.horizon = ReachabilityHorizon(prober, self.responsiveness)
         self.reverse_tool = ReverseTracerouteTool(prober)
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Helpers
@@ -161,11 +163,19 @@ class FailureIsolator:
         destination = Address(destination)
         vp = self.vantage_points.get(vp_name)
         if not self.vantage_points.is_up(vp_name):
-            raise DegradedError(
+            exc = DegradedError(
                 "cannot isolate: vantage point is down",
                 vp=vp_name,
                 target=str(destination),
+                component="isolation.isolator",
+                sim_time=now,
             )
+            if self.obs is not None:
+                self.obs.emit_error(
+                    "isolation.failed", now, "isolation.isolator", exc,
+                    subject=f"{vp_name}|{destination}",
+                )
+            raise exc
         helpers = self._helpers_for(vp)
         probes_before = self.prober.probes_sent
 
@@ -208,6 +218,21 @@ class FailureIsolator:
                 "vantage points or failure resolved during isolation",
             )
         result.probes_used = self.prober.probes_sent - probes_before
+        if self.obs is not None:
+            self.obs.emit(
+                "isolation.completed", now, "isolation.isolator",
+                subject=f"{vp_name}|{destination}",
+                direction=direction.value,
+                blamed_asn=result.blamed_asn,
+                blamed_link=list(result.blamed_link)
+                if result.blamed_link else None,
+                confidence=round(result.confidence, 9),
+                probes=result.probes_used,
+                elapsed=result.elapsed_seconds,
+            )
+            self.obs.observe(
+                "isolation.elapsed_seconds", result.elapsed_seconds
+            )
         return result
 
     # ------------------------------------------------------------------

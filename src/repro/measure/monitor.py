@@ -75,6 +75,8 @@ class PingMonitor:
         self.targets = [Address(t) for t in targets]
         self._state: Dict[Tuple[str, int], _PairState] = {}
         self.outages: List[OutageRecord] = []
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
 
     def _pair_state(self, vp: VantagePoint, target: Address) -> _PairState:
         return self._state.setdefault((vp.name, target.value), _PairState())
@@ -87,6 +89,33 @@ class PingMonitor:
             for target in self.targets:
                 event = self._probe_pair(vp, target, now)
                 events[(vp.name, target.value)] = event
+                if self.obs is None:
+                    continue
+                subject = f"{vp.name}|{target}"
+                if event is MonitorEvent.OUTAGE_STARTED:
+                    outage = self._pair_state(vp, target).current_outage
+                    self.obs.emit(
+                        "monitor.outage-started", now, "measure.monitor",
+                        subject=subject,
+                        start=outage.start if outage else now,
+                        detected=now,
+                    )
+                elif event is MonitorEvent.OUTAGE_ENDED:
+                    self.obs.emit(
+                        "monitor.outage-ended", now, "measure.monitor",
+                        subject=subject, end=now,
+                    )
+        if self.obs is not None:
+            tally: Dict[str, int] = {}
+            for event in events.values():
+                tally[event.value] = tally.get(event.value, 0) + 1
+            self.obs.emit(
+                "monitor.round", now, "measure.monitor",
+                pairs=len(events), **{
+                    key.replace("-", "_"): tally[key]
+                    for key in sorted(tally)
+                },
+            )
         return events
 
     def _probe_pair(

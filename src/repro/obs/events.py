@@ -1,0 +1,236 @@
+"""Deterministic structured event bus: the spine of `repro.obs`.
+
+Every instrumented component — the BGP engine, the prober, the monitor,
+the isolator, the guard, the Lifeguard control loop — holds an optional
+``obs`` attribute.  When a caller wires an :class:`EventBus` through
+:meth:`~repro.control.lifeguard.Lifeguard.attach_observer`, each of them
+emits schema-versioned events; when no bus is attached, the single
+``if self.obs is not None`` branch is the entire cost, so un-observed
+runs stay byte-identical to the pre-obs code.
+
+Determinism is the design constraint everything else bends around: an
+event's identity is its **sequence number plus simulation time** — never
+a wall clock, never a process id — so the event log (and its running
+SHA-256 digest) for a given seed is byte-identical whether the experiment
+ran serially or fanned out over eight workers.  That makes event logs
+*diffable artifacts*: CI records them, and a digest mismatch between
+worker counts is a reproducibility bug by definition.
+
+The bus keeps a bounded ring buffer (old events fall off; the digest and
+per-kind counts cover the full history) and can stream every event to a
+JSONL sink as it is emitted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, IO, List, Optional
+
+from repro.errors import error_context
+
+#: Bump on incompatible changes to the serialized event layout.
+EVENT_SCHEMA_VERSION = 1
+
+#: Default ring capacity: large enough for a full demo-scale repair story.
+DEFAULT_CAPACITY = 65536
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce *value* into something ``json.dumps`` renders canonically.
+
+    Dicts are key-sorted, tuples/sets become sorted-or-ordered lists, and
+    anything exotic collapses to ``str(value)`` — events must serialize
+    the same way in every process or the digest guarantee dies.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    return str(value)
+
+
+@dataclass
+class Event:
+    """One observed fact, stamped with sim time and a sequence number."""
+
+    seq: int
+    t: float
+    kind: str
+    component: str
+    subject: Optional[str] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        blob: Dict[str, Any] = {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "t": self.t,
+            "kind": self.kind,
+            "component": self.component,
+        }
+        if self.subject is not None:
+            blob["subject"] = self.subject
+        if self.fields:
+            blob["fields"] = {
+                k: self.fields[k] for k in sorted(self.fields)
+            }
+        return blob
+
+    def canonical(self) -> str:
+        """The digest-stable serialized form (sorted keys, no spaces)."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, blob: Dict[str, Any]) -> "Event":
+        return cls(
+            seq=int(blob["seq"]),
+            t=float(blob["t"]),
+            kind=blob["kind"],
+            component=blob["component"],
+            subject=blob.get("subject"),
+            fields=dict(blob.get("fields", {})),
+        )
+
+
+class EventBus:
+    """Bounded, digest-carrying event stream with an optional JSONL sink.
+
+    *capacity* bounds the in-memory ring; evicted events are gone from
+    :meth:`events` but remain in ``counts``, ``total`` and the running
+    :meth:`digest` (and in the sink, if one is attached).  *sink* is a
+    path or open text handle that receives one canonical JSON line per
+    event as it happens.  *metrics* is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry`; every emitted event
+    increments its ``obs.events.<kind>`` counter, and components may
+    route histogram observations through :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sink: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        self.capacity = capacity
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self.metrics = metrics
+        #: events emitted over the bus's whole life (ring may hold fewer).
+        self.total = 0
+        #: events evicted from the ring by newer ones.
+        self.evicted = 0
+        #: per-kind emission counts (full history, not just the ring).
+        self.counts: Dict[str, int] = {}
+        self._hash = hashlib.sha256()
+        self._subscribers: List[Callable[[Event], None]] = []
+        self._sink_fh: Optional[IO[str]] = None
+        self._owns_sink = False
+        if sink is not None:
+            if isinstance(sink, (str, bytes)):
+                self._sink_fh = open(sink, "a", encoding="utf-8")
+                self._owns_sink = True
+            else:
+                self._sink_fh = sink
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        t: float,
+        component: str,
+        subject: Optional[str] = None,
+        **fields: Any,
+    ) -> Event:
+        """Record one event; returns it (already sequenced and hashed)."""
+        event = Event(
+            seq=self.total,
+            t=float(t),
+            kind=kind,
+            component=component,
+            subject=subject,
+            fields={k: _jsonable(v) for k, v in fields.items()},
+        )
+        self.total += 1
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        line = event.canonical()
+        self._hash.update(line.encode("utf-8"))
+        self._hash.update(b"\n")
+        if self._sink_fh is not None:
+            self._sink_fh.write(line + "\n")
+        if self.metrics is not None:
+            self.metrics.counter(f"obs.events.{kind}").inc()
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def emit_error(
+        self,
+        kind: str,
+        t: float,
+        component: str,
+        exc: BaseException,
+        subject: Optional[str] = None,
+        **fields: Any,
+    ) -> Event:
+        """Emit a failure event carrying the exception's structured
+        context (see :func:`repro.errors.error_context`) instead of a
+        bare ``str(exc)``."""
+        fields["error"] = error_context(exc)
+        return self.emit(kind, t, component, subject=subject, **fields)
+
+    def observe(self, name: str, value: float) -> None:
+        """Route a histogram observation to the attached registry
+        (no-op without one) — lets instrumented components record
+        distributions without importing the metrics module."""
+        if self.metrics is not None:
+            self.metrics.observe(name, value)
+
+    def subscribe(self, fn: Callable[[Event], None]) -> None:
+        """Call *fn* synchronously for every subsequent event."""
+        self._subscribers.append(fn)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def events(self) -> List[Event]:
+        """The events still in the ring, oldest first."""
+        return list(self._ring)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical line of every event ever emitted.
+
+        Covers the full history (including ring-evicted events), so two
+        runs agree iff they emitted the identical event sequence — the
+        property the cross-worker determinism test asserts.
+        """
+        return self._hash.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # Sink management
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._sink_fh is not None:
+            self._sink_fh.flush()
+
+    def close(self) -> None:
+        if self._sink_fh is not None:
+            self._sink_fh.flush()
+            if self._owns_sink:
+                self._sink_fh.close()
+            self._sink_fh = None

@@ -1,0 +1,342 @@
+"""Repair-timeline tracing: span trees over the event log.
+
+One outage's lifecycle under LIFEGUARD is a sequence of causally linked
+phases — detection → isolation → poison → convergence → verification →
+repair detection → unpoison — each of which the control loop already
+emits ``control.*`` events for (they mirror the write-ahead journal).
+:func:`assemble_timelines` folds a recorded event stream into one
+:class:`RepairTimeline` per outage: a tree of :class:`Span` objects,
+each carrying the sim-time window of its phase and **causal references**
+(sequence-number ranges) to the ``bgp.update-sent`` events that phase
+triggered on the wire.
+
+Assembly is a pure function of the event list: the same events always
+produce the same spans, so a timeline rendered from a live bus, from a
+JSONL file, or from a CI artifact is the same artifact.  Rendering
+(:func:`render_timeline`) produces the human-readable repair story the
+``repro trace`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import Event
+
+#: Spans keep at most this many explicit BGP update seq references; the
+#: count and the (first, last) range are always exact.
+MAX_CAUSAL_REFS = 512
+
+
+@dataclass
+class Span:
+    """One phase of a repair, with causal references into the event log."""
+
+    name: str
+    start: Optional[float] = None
+    end: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+    #: seqs of bgp.update-sent events inside [start, end] (capped).
+    bgp_update_seqs: List[int] = field(default_factory=list)
+    bgp_updates: int = 0
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def seq_range(self) -> Optional[Tuple[int, int]]:
+        if not self.bgp_update_seqs:
+            return None
+        return (self.bgp_update_seqs[0], self.bgp_update_seqs[-1])
+
+
+@dataclass
+class RepairTimeline:
+    """Everything one outage went through, reconstructed from events."""
+
+    vp_name: str
+    destination: str
+    outage_start: float
+    spans: List[Span] = field(default_factory=list)
+    final_state: Optional[str] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def subject(self) -> str:
+        return f"{self.vp_name}|{self.destination}|{self.outage_start!r}"
+
+    def span(self, name: str) -> Optional[Span]:
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def phase_names(self) -> List[str]:
+        return [span.name for span in self.spans]
+
+
+def _parse_subject(subject: str) -> Optional[Tuple[str, str, float]]:
+    parts = subject.split("|")
+    if len(parts) != 3:
+        return None
+    try:
+        return parts[0], parts[1], float(parts[2])
+    except ValueError:
+        return None
+
+
+def _ensure_span(timeline: RepairTimeline, name: str) -> Span:
+    span = timeline.span(name)
+    if span is None:
+        span = Span(name=name)
+        timeline.spans.append(span)
+    return span
+
+
+def _attach_causal_refs(
+    timelines: Iterable[RepairTimeline], events: List[Event]
+) -> None:
+    """Link each span to the BGP updates its window triggered."""
+    updates = [e for e in events if e.kind == "bgp.update-sent"]
+    if not updates:
+        return
+    for timeline in timelines:
+        for span in timeline.spans:
+            if span.start is None:
+                continue
+            end = span.end if span.end is not None else float("inf")
+            for update in updates:
+                if span.start <= update.t <= end:
+                    span.bgp_updates += 1
+                    if len(span.bgp_update_seqs) < MAX_CAUSAL_REFS:
+                        span.bgp_update_seqs.append(update.seq)
+            for child in span.children:
+                c_end = child.end if child.end is not None else float("inf")
+                for update in updates:
+                    if child.start is not None and (
+                        child.start <= update.t <= c_end
+                    ):
+                        child.bgp_updates += 1
+                        if len(child.bgp_update_seqs) < MAX_CAUSAL_REFS:
+                            child.bgp_update_seqs.append(update.seq)
+
+
+def assemble_timelines(
+    events: Iterable[Event],
+) -> List[RepairTimeline]:
+    """Fold an event stream into one timeline per observed outage.
+
+    Only ``control.*`` events (the mirrored write-ahead journal) shape
+    the spans; ``bgp.update-sent`` events provide the causal references.
+    Events from unrelated components pass through untouched, so a full
+    firehose log and a control-only log yield the same span structure.
+    """
+    events = [
+        e if isinstance(e, Event) else Event.from_json(e) for e in events
+    ]
+    timelines: Dict[str, RepairTimeline] = {}
+
+    def timeline_for(subject: str) -> Optional[RepairTimeline]:
+        timeline = timelines.get(subject)
+        if timeline is None:
+            parsed = _parse_subject(subject)
+            if parsed is None:
+                return None
+            vp, dst, start = parsed
+            timeline = RepairTimeline(
+                vp_name=vp, destination=dst, outage_start=start
+            )
+            timelines[subject] = timeline
+        return timeline
+
+    for event in events:
+        if not event.kind.startswith("control.") or event.subject is None:
+            continue
+        timeline = timeline_for(event.subject)
+        if timeline is None:
+            continue
+        kind = event.kind[len("control."):]
+        fields = event.fields
+        if kind == "observed":
+            span = _ensure_span(timeline, "detection")
+            span.start = timeline.outage_start
+            span.end = fields.get("detected", event.t)
+        elif kind == "isolation-spend":
+            span = _ensure_span(timeline, "isolation")
+            if span.start is None:
+                span.start = event.t
+            span.detail["attempts"] = fields.get(
+                "used", span.detail.get("attempts", 0)
+            )
+        elif kind == "isolated":
+            span = _ensure_span(timeline, "isolation")
+            if span.start is None:
+                span.start = event.t
+            span.end = event.t
+            span.detail.update(
+                direction=fields.get("direction"),
+                blamed_asn=fields.get("blamed_asn"),
+                confidence=fields.get("confidence"),
+            )
+        elif kind == "deferred":
+            why = fields.get("why", "unknown")
+            timeline.notes.append(f"deferred at t={event.t:g}: {why}")
+        elif kind == "poison":
+            span = _ensure_span(timeline, "poison")
+            span.start = event.t
+            span.detail.update(
+                asn=fields.get("asn"), mode=fields.get("mode", "poison")
+            )
+        elif kind == "rollback":
+            span = Span(
+                name="rollback",
+                start=event.t,
+                end=event.t,
+                detail={
+                    "asn": fields.get("asn"),
+                    "reason": fields.get("reason"),
+                    "failures": fields.get("failures"),
+                },
+            )
+            timeline.spans.append(span)
+        elif kind == "repair-check":
+            span = _ensure_span(timeline, "repair-detection")
+            if span.start is None:
+                span.start = event.t
+            span.detail["checks"] = span.detail.get("checks", 0) + 1
+            if fields.get("skipped"):
+                span.detail["skipped"] = (
+                    span.detail.get("skipped", 0) + 1
+                )
+        elif kind == "unpoison":
+            span = _ensure_span(timeline, "unpoison")
+            span.start = event.t
+        elif kind == "state":
+            state = fields.get("state")
+            timeline.final_state = state
+            if state == "verifying":
+                poison = _ensure_span(timeline, "poison")
+                poison.end = event.t
+                convergence = fields.get("convergence_seconds")
+                poison_time = fields.get("poison_time", event.t)
+                if convergence is not None:
+                    poison.children.append(
+                        Span(
+                            name="convergence",
+                            start=poison_time,
+                            end=poison_time + convergence,
+                            detail={"seconds": convergence},
+                        )
+                    )
+                verification = _ensure_span(timeline, "verification")
+                verification.start = event.t
+            elif state == "poisoned":
+                if "verified_time" in fields:
+                    verification = _ensure_span(timeline, "verification")
+                    verification.end = fields["verified_time"]
+                else:
+                    poison = _ensure_span(timeline, "poison")
+                    poison.end = event.t
+                    convergence = fields.get("convergence_seconds")
+                    poison_time = fields.get("poison_time", event.t)
+                    if convergence is not None:
+                        poison.children.append(
+                            Span(
+                                name="convergence",
+                                start=poison_time,
+                                end=poison_time + convergence,
+                                detail={"seconds": convergence},
+                            )
+                        )
+            elif state == "unpoisoned":
+                span = _ensure_span(timeline, "unpoison")
+                span.end = event.t
+                if "repair_detected_time" in fields:
+                    repair = _ensure_span(timeline, "repair-detection")
+                    repair.end = fields["repair_detected_time"]
+                    if repair.start is None:
+                        repair.start = repair.end
+            elif state == "not-poisoned":
+                timeline.notes.append(
+                    f"gave up at t={event.t:g}: "
+                    f"{fields.get('reason', 'no reason recorded')}"
+                )
+        elif kind == "outage-ended":
+            timeline.notes.append(f"outage ended at t={event.t:g}")
+
+    ordered = sorted(
+        timelines.values(),
+        key=lambda tl: (tl.outage_start, tl.vp_name, tl.destination),
+    )
+    # Order spans by phase onset; repair-detection may have opened before
+    # verification closed, so sort rather than trust insertion order.
+    for timeline in ordered:
+        timeline.spans.sort(
+            key=lambda s: (
+                s.start if s.start is not None else float("inf")
+            )
+        )
+    _attach_causal_refs(ordered, events)
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_span(span: Span, last: bool, indent: str = "  ") -> List[str]:
+    branch = "└─" if last else "├─"
+    window = ""
+    if span.start is not None and span.end is not None:
+        window = f"t={span.start:g} → {span.end:g}"
+        if span.duration:
+            window += f"  ({span.duration:g}s)"
+    elif span.start is not None:
+        window = f"t={span.start:g} → …"
+    detail_bits = [
+        f"{key}={value}"
+        for key, value in sorted(span.detail.items())
+        if value is not None
+    ]
+    if span.bgp_updates:
+        lo, hi = span.seq_range
+        detail_bits.append(
+            f"bgp updates: {span.bgp_updates} (seq {lo}–{hi})"
+        )
+    suffix = f"  [{', '.join(detail_bits)}]" if detail_bits else ""
+    lines = [f"{indent}{branch} {span.name:<17}{window}{suffix}"]
+    for i, child in enumerate(span.children):
+        lines.extend(
+            _format_span(
+                child,
+                last=(i == len(span.children) - 1),
+                indent=indent + ("   " if last else "│  "),
+            )
+        )
+    return lines
+
+
+def render_timeline(timeline: RepairTimeline) -> str:
+    """The human-readable repair story for one outage."""
+    header = (
+        f"repair {timeline.vp_name} → {timeline.destination} "
+        f"(outage t={timeline.outage_start:g}, "
+        f"final state: {timeline.final_state or 'in progress'})"
+    )
+    lines = [header]
+    for i, span in enumerate(timeline.spans):
+        lines.extend(_format_span(span, last=(i == len(timeline.spans) - 1)))
+    for note in timeline.notes:
+        lines.append(f"  · {note}")
+    return "\n".join(lines)
+
+
+def render_timelines(timelines: Iterable[RepairTimeline]) -> str:
+    blocks = [render_timeline(tl) for tl in timelines]
+    if not blocks:
+        return "(no repair activity recorded)"
+    return "\n\n".join(blocks)

@@ -207,8 +207,14 @@ def run_bench_suite(
     workers: int = 1,
     only: Optional[Sequence[str]] = None,
     cache=None,
+    stats: Optional[RunStats] = None,
 ) -> Dict[str, Any]:
-    """Run the suite and return the BENCH document (a JSON-ready dict)."""
+    """Run the suite and return the BENCH document (a JSON-ready dict).
+
+    *stats* optionally receives the suite-wide totals (merged across
+    benchmarks), so a caller can snapshot the full metrics registry —
+    e.g. the CLI's ``--metrics-out`` — on top of the returned document.
+    """
     chosen = list(BENCHMARKS) if not only else [
         name for name in BENCHMARKS if name in set(only)
     ]
@@ -219,7 +225,7 @@ def run_bench_suite(
             f"pick from {sorted(BENCHMARKS)}"
         )
 
-    totals_stats = RunStats()
+    totals_stats = stats if stats is not None else RunStats()
     benchmarks: Dict[str, Any] = {}
     total_wall = 0.0
     total_trials = 0

@@ -101,6 +101,9 @@ def run_trials(
         pool_size = min(workers, len(chunks))
         stats.count(f"{label}.parallel_runs")
         stats.count(f"{label}.chunks", len(chunks))
+        # Gauges surface in metrics snapshots (obs) without touching the
+        # legacy counters/timers shape of as_dict().
+        stats.registry.set_gauge(f"{label}.pool_size", pool_size)
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
             futures = {
                 pool.submit(_run_chunk, worker, context, chunk, batched): (

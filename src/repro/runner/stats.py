@@ -4,31 +4,39 @@ A :class:`RunStats` travels through a driver (and, merged, back from
 worker processes) so every run can report where its wall-clock time went:
 topology generation, BGP convergence, trial execution, cache traffic.
 The ``bench`` subcommand serializes these into ``BENCH_*.json``.
+
+Since the observability subsystem landed, RunStats is a thin bridge over
+a :class:`~repro.obs.metrics.MetricsRegistry`: counters are registry
+counters and phase timers are registry histograms (the timer value is the
+histogram's running total, so the legacy ``as_dict`` shape is unchanged
+while full latency distributions come along for free).  Pass an existing
+registry to share one metrics namespace between a stats object and an
+event bus; omit it and RunStats owns a private one.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Optional
 
+from repro.obs.metrics import MetricsRegistry
 
-@dataclass
+
 class RunStats:
     """Named counters plus cumulative phase timers (seconds)."""
 
-    counters: Dict[str, float] = field(default_factory=dict)
-    timers: Dict[str, float] = field(default_factory=dict)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def count(self, name: str, amount: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.registry.counter(name).inc(amount)
 
     def add_time(self, name: str, seconds: float) -> None:
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        self.registry.histogram(name).observe(seconds)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -39,10 +47,7 @@ class RunStats:
             self.add_time(name, time.perf_counter() - start)
 
     def merge(self, other: "RunStats") -> None:
-        for name, amount in other.counters.items():
-            self.count(name, amount)
-        for name, seconds in other.timers.items():
-            self.add_time(name, seconds)
+        self.registry.merge(other.registry)
 
     def merge_dict(self, payload: Mapping[str, Mapping[str, float]]) -> None:
         """Merge the :meth:`as_dict` form (as returned by workers)."""
@@ -55,20 +60,32 @@ class RunStats:
     # Reporting
     # ------------------------------------------------------------------
     @property
+    def counters(self) -> Dict[str, float]:
+        """Name -> value, sorted by name (read-only view)."""
+        return self.registry.counter_values()
+
+    @property
+    def timers(self) -> Dict[str, float]:
+        """Name -> cumulative seconds, sorted by name (read-only view)."""
+        return self.registry.histogram_totals()
+
+    @property
     def cache_hit_rate(self) -> Optional[float]:
         """Hit rate over cache lookups, or None if the cache never ran."""
-        hits = self.counters.get("cache.hits", 0)
-        misses = self.counters.get("cache.misses", 0)
+        counters = self.counters
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
         total = hits + misses
         if not total:
             return None
         return hits / total
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """The legacy bench-JSON shape, keys sorted at every level."""
         return {
-            "counters": dict(sorted(self.counters.items())),
+            "counters": self.counters,
             "timers": {
                 name: round(seconds, 6)
-                for name, seconds in sorted(self.timers.items())
+                for name, seconds in self.timers.items()
             },
         }

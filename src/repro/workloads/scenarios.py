@@ -70,6 +70,7 @@ def build_deployment(
     lifeguard_config: Optional[LifeguardConfig] = None,
     cache=None,
     stats=None,
+    obs=None,
 ) -> DeploymentScenario:
     """Build the standard scenario.
 
@@ -81,6 +82,11 @@ def build_deployment(
     The converged control plane comes from
     :func:`repro.runner.baseline.converged_internet`, so a configured
     *cache* serves it from disk after the first build.
+
+    *obs* is an optional :class:`~repro.obs.events.EventBus`, attached
+    via :meth:`~repro.control.lifeguard.Lifeguard.attach_observer`
+    before the baseline announcement so the event log covers the
+    deployment's whole observable life.
     """
     # Deferred: runner.baseline reaches back into this module.
     from repro.runner.baseline import ORIGIN_ASN_EVEN, converged_internet
@@ -135,6 +141,8 @@ def build_deployment(
         duration_history=history,
         config=lifeguard_config,
     )
+    if obs is not None:
+        lifeguard.attach_observer(obs)
     lifeguard.announce()
     production = lifeguard.production_prefix
     return DeploymentScenario(
@@ -148,6 +156,55 @@ def build_deployment(
         targets=targets,
         vp_asns=vp_asns,
     )
+
+
+def run_demo_scenario(
+    seed: int = 0,
+    scale: str = "tiny",
+    obs=None,
+    fail_start: float = 1000.0,
+    fail_end: float = 8200.0,
+    end: float = 9600.0,
+) -> Tuple[DeploymentScenario, int]:
+    """The quickstart repair story: one AS fails, LIFEGUARD repairs it.
+
+    Builds the tiny deployment, picks the first transit AS on the reverse
+    path from the primary target back to the origin, breaks its
+    forwarding toward the sentinel for ``[fail_start, fail_end)``, and
+    runs the control loop to *end*.  Returns the scenario and the failed
+    ASN.  This is the scenario behind ``repro demo`` and ``repro trace``
+    — and, with an *obs* bus attached, the workload the cross-worker
+    event-log determinism check replays.
+    """
+    from repro.dataplane.failures import ASForwardingFailure
+
+    scenario = build_deployment(
+        scale=scale, seed=seed, num_providers=2, obs=obs
+    )
+    lifeguard = scenario.lifeguard
+    topo = scenario.topo
+    target = scenario.targets[0]
+    origin_router = topo.routers_of(scenario.origin_asn)[0]
+    target_rid = lifeguard.dataplane.host_router(target)
+    walk = lifeguard.dataplane.forward(
+        target_rid, topo.router(origin_router).address
+    )
+    bad_asn = next(
+        a
+        for a in walk.as_level_hops(topo)[1:-1]
+        if a != scenario.origin_asn
+    )
+    lifeguard.prime_atlas(now=0.0)
+    lifeguard.dataplane.failures.add(
+        ASForwardingFailure(
+            asn=bad_asn,
+            toward=lifeguard.sentinel_manager.sentinel,
+            start=fail_start,
+            end=fail_end,
+        )
+    )
+    lifeguard.run(start=30.0, end=end)
+    return scenario, bad_asn
 
 
 def _transit_session(graph: ASGraph, origin_asn: int) -> Tuple[int, int]:

@@ -1,0 +1,163 @@
+"""Tests for the observability event bus (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro.errors import MeasurementError, error_context
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventBus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestEvent:
+    def test_canonical_is_sorted_and_versioned(self):
+        event = Event(
+            seq=3, t=12.5, kind="bgp.update-sent",
+            component="bgp.engine", subject="10.0.0.0/8",
+            fields={"b": 2, "a": 1},
+        )
+        line = event.canonical()
+        doc = json.loads(line)
+        assert doc["v"] == EVENT_SCHEMA_VERSION
+        assert doc["seq"] == 3
+        assert doc["kind"] == "bgp.update-sent"
+        # Canonical form: sorted keys, no whitespace.
+        assert line == json.dumps(
+            doc, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_round_trip(self):
+        event = Event(
+            seq=0, t=1.0, kind="k", component="c",
+            subject="s", fields={"x": [1, 2]},
+        )
+        again = Event.from_json(json.loads(event.canonical()))
+        assert again == event
+
+    def test_unjsonable_emit_fields_become_strings(self):
+        bus = EventBus()
+        event = bus.emit("k", 0.0, "c", obj=object())
+        assert isinstance(event.fields["obj"], str)
+        json.loads(event.canonical())  # must serialize cleanly
+
+
+class TestEventBus:
+    def test_emit_assigns_monotonic_seq(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.emit("tick", float(i), "test")
+        assert [e.seq for e in bus.events()] == list(range(5))
+        assert bus.total == 5
+
+    def test_ring_eviction_keeps_digest_over_full_history(self):
+        small = EventBus(capacity=4)
+        full = EventBus()
+        for i in range(10):
+            small.emit("tick", float(i), "test", n=i)
+            full.emit("tick", float(i), "test", n=i)
+        assert len(small.events()) == 4
+        assert small.evicted == 6
+        assert small.total == 10
+        # The digest covers every emission, not just the survivors.
+        assert small.digest() == full.digest()
+
+    def test_digest_ignores_capacity_and_sink(self, tmp_path):
+        a = EventBus(capacity=2)
+        b = EventBus(sink=str(tmp_path / "events.jsonl"))
+        for bus in (a, b):
+            bus.emit("x", 1.0, "c", k="v")
+            bus.emit("y", 2.0, "c")
+        b.close()
+        assert a.digest() == b.digest()
+
+    def test_jsonl_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(sink=str(path))
+        bus.emit("a", 1.0, "c", value=7)
+        bus.emit("b", 2.0, "c")
+        bus.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [Event.from_json(json.loads(line)) for line in lines]
+        assert events[0].fields == {"value": 7}
+        assert events[1].kind == "b"
+
+    def test_default_capacity_is_bounded(self):
+        assert EventBus().capacity == DEFAULT_CAPACITY
+
+    def test_subscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("x", 0.0, "c")
+        assert len(seen) == 1 and seen[0].kind == "x"
+
+    def test_counts_per_kind(self):
+        bus = EventBus()
+        bus.emit("a", 0.0, "c")
+        bus.emit("a", 1.0, "c")
+        bus.emit("b", 2.0, "c")
+        assert bus.counts == {"a": 2, "b": 1}
+
+    def test_emit_increments_registry_counter(self):
+        registry = MetricsRegistry()
+        bus = EventBus(metrics=registry)
+        bus.emit("probe.ping", 0.0, "dataplane.prober")
+        assert registry.counter_values()["obs.events.probe.ping"] == 1
+
+    def test_observe_routes_to_registry_histogram(self):
+        registry = MetricsRegistry()
+        bus = EventBus(metrics=registry)
+        bus.observe("isolation.elapsed_seconds", 2.5)
+        assert (
+            registry.histogram_totals()["isolation.elapsed_seconds"] == 2.5
+        )
+
+    def test_observe_without_registry_is_noop(self):
+        EventBus().observe("anything", 1.0)  # must not raise
+
+
+class TestErrorEvents:
+    def test_error_context_is_sorted_and_typed(self):
+        exc = MeasurementError(
+            "probe timed out", vp="vp0", target="1.2.3.4",
+            component="measure.monitor", sim_time=42.0,
+        )
+        ctx = error_context(exc)
+        assert list(ctx) == sorted(ctx)
+        assert ctx["type"] == "MeasurementError"
+        assert ctx["component"] == "measure.monitor"
+        assert ctx["sim_time"] == 42.0
+        assert ctx["subject"] == "vp0|1.2.3.4"
+
+    def test_error_context_plain_exception(self):
+        ctx = error_context(ValueError("nope"))
+        assert ctx == {"message": "nope", "type": "ValueError"}
+
+    def test_emit_error(self):
+        bus = EventBus()
+        exc = MeasurementError("boom", vp="vp0", target="t")
+        bus.emit_error(
+            "isolation.failed", 5.0, "isolation.isolator", exc,
+            subject="vp0|t",
+        )
+        (event,) = bus.events()
+        assert event.kind == "isolation.failed"
+        assert event.fields["error"]["type"] == "MeasurementError"
+        assert event.fields["error"]["vp"] == "vp0"
+
+
+class TestContextualErrors:
+    def test_message_keeps_legacy_suffix(self):
+        exc = MeasurementError("probe lost", vp="vp1", target="9.9.9.9")
+        assert "[vp=vp1, target=9.9.9.9]" in str(exc)
+
+    def test_context_empty_without_kwargs(self):
+        with pytest.raises(MeasurementError) as info:
+            raise MeasurementError("bare")
+        assert info.value.context == {}
