@@ -13,6 +13,13 @@ from repro.bgp.speaker import BGPSpeaker
 from repro.bgp.engine import BGPEngine, EngineConfig
 from repro.bgp.collectors import RouteCollector, CollectorUpdate
 from repro.bgp.origin import AnnouncementSpec, OriginController
+from repro.bgp.solver import (
+    Origination,
+    SolverResult,
+    SolverUnsupported,
+    solve,
+    solver_unsupported_reason,
+)
 
 __all__ = [
     "Announcement",
@@ -28,4 +35,9 @@ __all__ = [
     "CollectorUpdate",
     "AnnouncementSpec",
     "OriginController",
+    "Origination",
+    "SolverResult",
+    "SolverUnsupported",
+    "solve",
+    "solver_unsupported_reason",
 ]

@@ -14,7 +14,12 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.bgp.messages import Announcement, ASPath, Withdrawal
+from repro.bgp.messages import (
+    Announcement,
+    ASPath,
+    Withdrawal,
+    clear_interned_paths,
+)
 from repro.bgp.policy import SpeakerConfig
 from repro.bgp.rib import Route
 from repro.bgp.speaker import BGPSpeaker
@@ -44,7 +49,7 @@ class EngineConfig:
     seed: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteChange:
     """One Loc-RIB change, recorded for collectors and loss replay."""
 
@@ -134,9 +139,13 @@ class BGPEngine:
         Trial runners call this on a restored snapshot so each trial's
         message/processing delays flow from its own derived seed instead
         of continuing whichever stream the snapshot froze — the property
-        that makes trial results independent of execution order.
+        that makes trial results independent of execution order.  The
+        AS-path intern table is reset for the same reason: interned
+        tuples must not leak object sharing (and thereby pickle-level
+        byte differences) across trial boundaries.
         """
         self._rng = random.Random(seed)
+        clear_interned_paths()
 
     def _link_delay(self) -> float:
         return self._rng.uniform(
@@ -226,6 +235,53 @@ class BGPEngine:
             )
         return True
 
+    def warm_start(self, result) -> None:
+        """Install a solver-computed converged state (no events run).
+
+        *result* is a :class:`repro.bgp.solver.SolverResult`.  Afterwards
+        the engine is at quiescence: every Loc-RIB/Adj-RIB-In entry and
+        every session's advertised state match what event-driven
+        convergence of the same originations would have produced, so all
+        subsequent perturbations (new originations, poisons, session
+        resets) behave identically.  The clock stays at its current value
+        and ``last_sent_time`` stays empty — the converged announcements
+        were "sent long ago", so no MRAI timer gates the first
+        post-warm-start update, just as a long-quiesced event engine
+        behaves.  The convergence process itself is not simulated, so
+        ``change_log``/``updates_sent`` record nothing for it.
+
+        Requires a fresh engine (nothing originated, no queued events).
+        """
+        if self._queue:
+            raise SimulationError(
+                "warm_start requires an idle engine (events pending)"
+            )
+        for org in result.originations:
+            # State-only origination: no change log, no session flush —
+            # the solved session state below already reflects it.
+            self.speakers[org.asn].originate(
+                org.prefix,
+                path=org.path,
+                per_neighbor=org.per_neighbor_dict(),
+                med=org.med,
+            )
+        sessions = self._sessions
+        for solution in result.solutions:
+            prefix = solution.prefix
+            best = solution.best
+            for receiver, routes in solution.adj_in.items():
+                self.speakers[receiver].table.load(
+                    prefix, routes, best.get(receiver)
+                )
+            for session_key, announcement in solution.sent.items():
+                sessions[session_key].sent[prefix] = announcement
+        if self.obs is not None:
+            self.obs.emit(
+                "bgp.warm-start", self.now, "bgp.engine",
+                subject=f"{len(result.solutions)} prefixes",
+                prefixes=len(result.solutions),
+            )
+
     def advance_to(self, time: float) -> None:
         """Move the idle engine clock forward to *time*.
 
@@ -250,15 +306,27 @@ class BGPEngine:
         """
         processed = 0
         limit = 5_000_000
-        while self._queue:
-            time, _, event = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        batch: List[tuple] = []
+        while queue:
+            time, _, event = queue[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._queue)
+            pop(queue)
             self.now = time
-            self._dispatch(event)
-            processed += 1
+            # Batch events sharing a timestamp (MRAI expiries cluster at
+            # `last + mrai`): one heap inspection per event instead of a
+            # full loop iteration.  Heap order already yields equal times
+            # in sequence order, so semantics are unchanged.
+            batch.append(event)
+            while queue and queue[0][0] == time:
+                batch.append(pop(queue)[2])
+            for event in batch:
+                self._dispatch(event)
+            processed += len(batch)
+            batch.clear()
             if processed > limit:
                 raise SimulationError(
                     "BGP simulation did not quiesce (possible policy "

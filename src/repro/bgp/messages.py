@@ -15,6 +15,37 @@ from repro.net.addr import Prefix
 
 ASPath = Tuple[int, ...]
 
+#: Bound on the path intern table.  Propagation revisits the same few
+#: thousand distinct paths millions of times; interning makes equality
+#: checks pointer-fast and dedupes pickled snapshots.  Past the bound new
+#: paths are passed through uninterned (correctness never depends on
+#: identity), so a pathological workload cannot grow the table unbounded.
+_INTERN_LIMIT = 1 << 16
+
+_interned_paths: dict = {}
+
+
+def intern_path(path: ASPath) -> ASPath:
+    """A canonical instance of *path* (bounded, per-process)."""
+    cached = _interned_paths.get(path)
+    if cached is not None:
+        return cached
+    if len(_interned_paths) < _INTERN_LIMIT:
+        _interned_paths[path] = path
+    return path
+
+
+def clear_interned_paths() -> None:
+    """Reset the intern table (see :meth:`BGPEngine.reseed`).
+
+    Pickling preserves object sharing, so results that share interned
+    tuples with *earlier* work serialize differently than the same
+    values built in a fresh process.  Clearing at trial boundaries keeps
+    sharing within-trial only, making serial and multiprocess runs
+    byte-identical.
+    """
+    _interned_paths.clear()
+
 
 def make_path(
     origin: int,
@@ -84,7 +115,7 @@ def unique_ases(path: ASPath) -> Tuple[int, ...]:
     return tuple(out)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Announcement:
     """A reachability announcement for *prefix* with attributes.
 
@@ -127,14 +158,14 @@ class Announcement:
         """The announcement as re-advertised by *asn* (prepends its ASN)."""
         return Announcement(
             prefix=self.prefix,
-            as_path=(asn,) + self.as_path,
+            as_path=intern_path((asn,) + self.as_path),
             med=0,  # MED is non-transitive: reset when crossing an AS.
             communities=self.communities,
             avoid=self.avoid,  # AVOID_PROBLEM is transitive by design.
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Withdrawal:
     """Withdraws reachability of *prefix* via the sending neighbor."""
 

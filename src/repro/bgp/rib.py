@@ -10,7 +10,7 @@ from repro.net.addr import Prefix
 from repro.topology.relationships import Relationship
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """A route installed in a speaker's Adj-RIB-In (post-import-policy).
 
@@ -72,6 +72,10 @@ def best_route(candidates: List[Route]) -> Optional[Route]:
     """
     if not candidates:
         return None
+    if not any(route.avoid for route in candidates):
+        # Hot path: no avoid-hints in play (the overwhelmingly common
+        # case) — skip the frozenset union and path scans entirely.
+        return min(candidates, key=preference_key)
     flagged = frozenset().union(*(route.avoid for route in candidates))
     if flagged:
         clean = [
@@ -101,6 +105,23 @@ class RouteTable:
     def install(self, route: Route) -> None:
         """Insert/replace the route from ``route.neighbor`` for its prefix."""
         self._adj_in.setdefault(route.prefix, {})[route.neighbor] = route
+
+    def load(
+        self,
+        prefix: Prefix,
+        routes: Dict[int, Route],
+        best: Optional[Route],
+    ) -> None:
+        """Bulk-install solver-computed state for *prefix*.
+
+        Merges *routes* (neighbor ASN -> route) into the Adj-RIB-In and
+        pins the Loc-RIB selection without re-running the decision
+        process — the caller (:meth:`BGPEngine.warm_start`) guarantees
+        *best* is what :func:`best_route` would pick.
+        """
+        self._adj_in.setdefault(prefix, {}).update(routes)
+        if best is not None:
+            self._loc[prefix] = best
 
     def withdraw(self, prefix: Prefix, neighbor: int) -> bool:
         """Remove the route from *neighbor*; True if one was present."""

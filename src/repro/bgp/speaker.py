@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
-from repro.bgp.messages import Announcement, ASPath, Withdrawal
+from repro.bgp.messages import Announcement, ASPath, Withdrawal, intern_path
 from repro.bgp.policy import PolicyEngine, SpeakerConfig
 from repro.bgp.rib import Route, RouteTable
 from repro.errors import BGPError
@@ -339,15 +339,16 @@ class BGPSpeaker:
             best.relationship, sending_to, best.communities
         ):
             return None
-        outbound = best.announcement().sent_by(self.asn)
+        # Built directly (not via announcement().sent_by()) — this runs
+        # once per neighbor per best-route change, the engine's hottest
+        # allocation site.  MED resets when crossing an AS; AVOID_PROBLEM
+        # is transitive by design.
         return Announcement(
-            prefix=outbound.prefix,
-            as_path=outbound.as_path,
-            med=outbound.med,
-            communities=self.policy.outbound_communities(
-                outbound.communities
-            ),
-            avoid=outbound.avoid,
+            prefix=prefix,
+            as_path=intern_path((self.asn,) + best.as_path),
+            med=0,
+            communities=self.policy.outbound_communities(best.communities),
+            avoid=best.avoid,
         )
 
     # ------------------------------------------------------------------

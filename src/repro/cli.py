@@ -345,6 +345,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="LIFEGUARD (SIGCOMM'12) reproduction experiments",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--baseline-mode",
+        choices=("auto", "solver", "event"),
+        default=None,
+        help="how converged baselines are produced: the analytic "
+             "Gao-Rexford solver, the event-driven engine, or auto "
+             "(solver with event fallback; default, also settable via "
+             "$REPRO_BASELINE_MODE)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("fig1", help="outage duration CDFs").set_defaults(
@@ -446,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.baseline_mode:
+        # Via the environment so trial workers (fresh processes) and
+        # deeply nested converged_internet() calls all see the choice.
+        from repro.runner.baseline import ENV_BASELINE_MODE
+
+        os.environ[ENV_BASELINE_MODE] = args.baseline_mode
     return args.func(args)
 
 

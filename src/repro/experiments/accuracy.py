@@ -16,7 +16,6 @@ feed the §5.4 scalability results.
 
 from __future__ import annotations
 
-import pickle
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -24,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.dataplane.failures import ASForwardingFailure
 from repro.isolation.direction import FailureDirection
 from repro.isolation.isolator import IsolationResult
+from repro.runner.baseline import pack_snapshot, unpack_snapshot
 from repro.runner.cache import resolve_cache
 from repro.runner.core import derive_seed, run_trials
 from repro.runner.stats import RunStats
@@ -168,7 +168,12 @@ def run_isolation_accuracy_study(
     scenario.lifeguard.prime_atlas(now=0.0)
     scenario.lifeguard.prober.reply_loss_rate = reply_loss_rate
     with stats.timer("accuracy.snapshot"):
-        snapshot = pickle.dumps(scenario, protocol=pickle.HIGHEST_PROTOCOL)
+        snapshot = pack_snapshot(scenario)
+    # One timed restore sample: every attempt pays this in its worker
+    # (where per-attempt stats are not collected), so bench JSON gets the
+    # per-fan-out restore cost right next to the snapshot cost.
+    with stats.timer("accuracy.snapshot_restore"):
+        unpack_snapshot(snapshot)
     context = (snapshot, seed, direction_mix)
 
     study = AccuracyStudy()
@@ -199,7 +204,7 @@ def run_isolation_accuracy_study(
 def _attempt_worker(context, attempt: int) -> Optional[FailureCase]:
     """One injection attempt on a private copy of the deployment."""
     snapshot, master_seed, direction_mix = context
-    scenario = pickle.loads(snapshot)
+    scenario = unpack_snapshot(snapshot)
     lifeguard = scenario.lifeguard
     topo = scenario.topo
     rng = random.Random(derive_seed(master_seed, "accuracy", attempt))

@@ -239,8 +239,9 @@ def run_poisoning_convergence_study(
 
     # Announce once, on a throwaway copy, so candidates can be harvested
     # from real collector-peer paths.
-    with stats.timer("convergence.harvest"):
+    with stats.timer("convergence.restore"):
         probe_engine, _ = restore_snapshot(snapshot)
+    with stats.timer("convergence.harvest"):
         probe_collector = RouteCollector(probe_engine, peers)
         probe_engine.originate(
             origin_asn, prefix, path=make_path(origin_asn)

@@ -2,24 +2,54 @@
 
 Nearly every experiment and benchmark starts the same way: generate a
 synthetic Internet, optionally attach a multihomed origin AS, originate
-every prefix, and run the BGP engine to quiescence.  That convergence run
-is the dominant cost at evaluation scale (~13 s for the medium topology),
-and it is pure — a deterministic function of the topology parameters and
-the engine config.  This module memoizes it through
-:class:`~repro.runner.cache.DiskCache`: the cached payload is the pickled
-``(graph, engine, origin_asn)`` triple, and unpickling restores the
-engine *exactly* (including its RNG stream), so cache hits are
-byte-identical to cold builds.
+every prefix, and bring the BGP control plane to quiescence.  Two paths
+produce that converged state:
+
+* ``mode="solver"`` — the analytic Gao-Rexford solver
+  (:mod:`repro.bgp.solver`) computes the unique stable routing directly
+  and :meth:`~repro.bgp.engine.BGPEngine.warm_start` installs it.  No
+  events run, so this is O(V+E) per prefix instead of simulating the
+  full update storm (~13 s at the medium scale before the solver).
+* ``mode="event"`` — classic event-driven convergence, required when the
+  configuration has features the solver cannot model (sibling links,
+  local-pref overrides, damping, ...).
+
+The default ``mode="auto"`` picks the solver whenever
+:func:`~repro.bgp.solver.solver_unsupported_reason` clears the config
+and falls back to the event engine otherwise (counted as
+``solver.fallbacks``).  Both modes yield identical Loc-RIB/Adj-RIB and
+session state; they differ in bookkeeping byproducts (the event engine's
+``change_log``/``updates_sent`` record the convergence storm, its RNG
+stream has advanced, and its clock sits at the convergence time), which
+no baseline consumer reads — trial drivers reseed and advance the clock
+before perturbing.  The resolved mode is part of the cache key, so the
+two flavors never serve each other's entries.
+
+The cached payload is the pickled ``(graph, engine, origin_asn)``
+triple, and unpickling restores the engine *exactly* (including its RNG
+stream), so cache hits are byte-identical to cold builds of the same
+mode.  Snapshots shipped to trial workers are zlib-compressed (level 1:
+the sweet spot — pickled engines are highly redundant, and heavier
+levels cost more time than the bytes they save).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import random
+import zlib
 from dataclasses import asdict, dataclass
 from typing import Optional, Tuple
 
 from repro.bgp.engine import BGPEngine, EngineConfig
+from repro.bgp.solver import (
+    Origination,
+    SolverUnsupported,
+    solve,
+    solver_unsupported_reason,
+)
+from repro.errors import SimulationError
 from repro.runner.cache import DiskCache
 from repro.runner.stats import RunStats
 from repro.topology.as_graph import ASGraph
@@ -28,6 +58,39 @@ from repro.topology.generate import generate_multihomed_origin
 #: ``origin_asn`` policies for :func:`converged_internet`.
 ORIGIN_ASN_NEXT = "next"  # max(ases) + 1 (the convergence/diversity choice)
 ORIGIN_ASN_EVEN = "even"  # next even ASN with a dark odd sibling (sentinel)
+
+#: ``mode`` values for :func:`converged_internet`.
+MODE_AUTO = "auto"
+MODE_SOLVER = "solver"
+MODE_EVENT = "event"
+
+#: Environment override for the default baseline mode (CLI ``--baseline-mode``
+#: sets it); an explicit ``mode=`` argument always wins.
+ENV_BASELINE_MODE = "REPRO_BASELINE_MODE"
+
+#: zlib level for snapshot payloads: level 1 already shrinks pickled
+#: engines ~5x; higher levels trade measurable CPU for few extra bytes.
+_SNAPSHOT_COMPRESSION_LEVEL = 1
+
+
+def pack_snapshot(obj: object) -> bytes:
+    """Pickle and compress a snapshot payload."""
+    return zlib.compress(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+        _SNAPSHOT_COMPRESSION_LEVEL,
+    )
+
+
+def unpack_snapshot(payload: bytes) -> object:
+    """Restore :func:`pack_snapshot` output (or a legacy raw pickle).
+
+    zlib streams start 0x78 and pickle protocol ≥ 2 streams start 0x80,
+    so uncompressed payloads from older callers are detected and loaded
+    directly.
+    """
+    if payload[:1] == b"\x78":
+        payload = zlib.decompress(payload)
+    return pickle.loads(payload)
 
 
 @dataclass
@@ -40,10 +103,9 @@ class ConvergedBaseline:
     origin_asn: Optional[int] = None
 
     def snapshot(self) -> bytes:
-        """Pickle the engine (which carries the graph) for trial workers."""
-        return pickle.dumps(
-            (self.engine, self.origin_asn), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        """Compressed pickle of the engine (which carries the graph) for
+        trial workers."""
+        return pack_snapshot((self.engine, self.origin_asn))
 
 
 def restore_snapshot(payload: bytes) -> Tuple[BGPEngine, Optional[int]]:
@@ -52,7 +114,7 @@ def restore_snapshot(payload: bytes) -> Tuple[BGPEngine, Optional[int]]:
     Each call returns an independent copy — trial workers may mutate it
     freely without touching each other.
     """
-    return pickle.loads(payload)
+    return unpack_snapshot(payload)
 
 
 def _even_origin_asn(graph: ASGraph) -> int:
@@ -64,6 +126,17 @@ def _even_origin_asn(graph: ASGraph) -> int:
     return candidate
 
 
+def resolve_baseline_mode(mode: Optional[str]) -> str:
+    """Normalize a ``mode`` argument (None: env var, then ``auto``)."""
+    resolved = mode or os.environ.get(ENV_BASELINE_MODE) or MODE_AUTO
+    if resolved not in (MODE_AUTO, MODE_SOLVER, MODE_EVENT):
+        raise SimulationError(
+            f"unknown baseline mode {resolved!r}; pick from "
+            f"{[MODE_AUTO, MODE_SOLVER, MODE_EVENT]}"
+        )
+    return resolved
+
+
 def converged_internet(
     scale: str = "small",
     seed: int = 0,
@@ -72,6 +145,7 @@ def converged_internet(
     origin_providers: Optional[int] = None,
     origin_asn_policy: str = ORIGIN_ASN_NEXT,
     origin_tier: int = 3,
+    mode: Optional[str] = None,
     cache: Optional[DiskCache] = None,
     stats: Optional[RunStats] = None,
 ) -> ConvergedBaseline:
@@ -82,8 +156,15 @@ def converged_internet(
     **not** originated — the experiment announces them itself.  Without
     it, every AS originates its prefixes.
 
-    The cache key covers the topology shape, seed, origin attachment and
-    the full :class:`EngineConfig`, so changing any of them is a miss.
+    *mode* selects how convergence is produced (module docstring);
+    ``"solver"`` raises :class:`~repro.bgp.solver.SolverUnsupported` when
+    the config has features the solver cannot model, ``"auto"`` (the
+    default, overridable via ``REPRO_BASELINE_MODE``) falls back to the
+    event engine instead.
+
+    The cache key covers the topology shape, seed, origin attachment,
+    the full :class:`EngineConfig` and the resolved mode, so changing
+    any of them is a miss.
     """
     # Deferred: workloads.scenarios imports the control stack, which
     # reaches back into repro.runner — importing it at module scope would
@@ -92,22 +173,7 @@ def converged_internet(
 
     stats = stats if stats is not None else RunStats()
     config = engine_config or EngineConfig(seed=seed)
-    params = {
-        "scale": scale,
-        "shape": asdict(SCALES[scale]) if scale in SCALES else scale,
-        "seed": seed,
-        "engine": asdict(config),
-        "origin_providers": origin_providers,
-        "origin_asn_policy": origin_asn_policy,
-        "origin_tier": origin_tier,
-    }
-    if cache is not None:
-        cached = cache.get("converged", params)
-        if cached is not None:
-            graph, engine, origin_asn = cached
-            return ConvergedBaseline(
-                graph=graph, engine=engine, origin_asn=origin_asn
-            )
+    requested = resolve_baseline_mode(mode)
 
     with stats.timer("baseline.topology"):
         graph, _shape = build_internet(scale, seed)
@@ -125,14 +191,54 @@ def converged_internet(
                 asn=asn,
                 tier=origin_tier,
             )
+
+    engine = BGPEngine(graph, config)
+    originations = [
+        Origination.make(node.asn, prefix)
+        for node in graph.nodes()
+        if origin_asn is None or node.asn != origin_asn
+        for prefix in node.prefixes
+    ]
+
+    effective = requested
+    if requested != MODE_EVENT:
+        reason = solver_unsupported_reason(engine, originations)
+        if reason is not None:
+            if requested == MODE_SOLVER:
+                raise SolverUnsupported(
+                    f"analytic solver cannot model: {reason}"
+                )
+            effective = MODE_EVENT
+            stats.count("solver.fallbacks")
+        else:
+            effective = MODE_SOLVER
+
+    params = {
+        "scale": scale,
+        "shape": asdict(SCALES[scale]) if scale in SCALES else scale,
+        "seed": seed,
+        "engine": asdict(config),
+        "origin_providers": origin_providers,
+        "origin_asn_policy": origin_asn_policy,
+        "origin_tier": origin_tier,
+        "mode": effective,
+    }
+    if cache is not None:
+        with stats.timer("baseline.cache_read"):
+            cached = cache.get("converged", params)
+        if cached is not None:
+            graph, engine, origin_asn = cached
+            return ConvergedBaseline(
+                graph=graph, engine=engine, origin_asn=origin_asn
+            )
+
     with stats.timer("baseline.convergence"):
-        engine = BGPEngine(graph, config)
-        for node in graph.nodes():
-            if origin_asn is not None and node.asn == origin_asn:
-                continue
-            for prefix in node.prefixes:
-                engine.originate(node.asn, prefix)
-        engine.run()
+        if effective == MODE_SOLVER:
+            engine.warm_start(solve(engine, originations, stats=stats))
+        else:
+            for org in originations:
+                engine.originate(org.asn, org.prefix)
+            engine.run()
 
     if cache is not None:
         with stats.timer("baseline.cache_write"):

@@ -34,6 +34,40 @@ EFFICACY_REPLICAS = 4
 BenchResult = Tuple[int, Dict[str, Any]]
 
 
+def _bench_baseline(
+    scale: str, seed: int, workers: int,
+    cache: Optional[DiskCache], stats: RunStats,
+) -> BenchResult:
+    """Cold converged-baseline construction: solver vs event engine.
+
+    Both modes run uncached so the numbers are real convergence costs,
+    not disk reads.  ``solver_speedup`` is the suite's headline for the
+    analytic solver (gated in CI via ``benchmarks/compare.py``).
+    """
+    from repro.runner.baseline import (
+        MODE_EVENT,
+        MODE_SOLVER,
+        converged_internet,
+    )
+
+    timings = {}
+    base = None
+    for mode in (MODE_SOLVER, MODE_EVENT):
+        start = time.perf_counter()
+        base = converged_internet(scale, seed, mode=mode, cache=None,
+                                  stats=stats)
+        timings[mode] = time.perf_counter() - start
+    prefixes = sum(len(node.prefixes) for node in base.graph.nodes())
+    return prefixes, {
+        "prefixes": prefixes,
+        "event_seconds": round(timings[MODE_EVENT], 4),
+        "solver_seconds": round(timings[MODE_SOLVER], 4),
+        "solver_speedup": round(
+            timings[MODE_EVENT] / timings[MODE_SOLVER], 4
+        ) if timings[MODE_SOLVER] else 0.0,
+    }
+
+
 def _efficacy_replica(
     context, replica_seed: int
 ) -> Tuple[int, float, Dict[str, Any]]:
@@ -192,6 +226,7 @@ BENCHMARKS: Dict[
     str,
     Callable[[str, int, int, Optional[DiskCache], RunStats], BenchResult],
 ] = {
+    "baseline": _bench_baseline,
     "efficacy": _bench_efficacy,
     "convergence": _bench_convergence,
     "accuracy": _bench_accuracy,

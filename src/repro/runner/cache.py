@@ -24,7 +24,9 @@ from typing import Any, Mapping, Optional, Union
 from repro.runner.stats import RunStats
 
 #: Bump to invalidate every existing cache entry (format change).
-CACHE_SCHEMA_VERSION = 1
+#: 2: Route/Announcement became slots dataclasses — pickles from schema 1
+#: would fail to restore into the slotted classes.
+CACHE_SCHEMA_VERSION = 2
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

@@ -68,6 +68,7 @@ def build_deployment(
     num_targets: int = 4,
     engine_config: Optional[EngineConfig] = None,
     lifeguard_config: Optional[LifeguardConfig] = None,
+    baseline_mode: Optional[str] = None,
     cache=None,
     stats=None,
     obs=None,
@@ -81,7 +82,8 @@ def build_deployment(
 
     The converged control plane comes from
     :func:`repro.runner.baseline.converged_internet`, so a configured
-    *cache* serves it from disk after the first build.
+    *cache* serves it from disk after the first build; *baseline_mode*
+    is its ``mode`` knob (``auto``/``solver``/``event``).
 
     *obs* is an optional :class:`~repro.obs.events.EventBus`, attached
     via :meth:`~repro.control.lifeguard.Lifeguard.attach_observer`
@@ -97,6 +99,7 @@ def build_deployment(
         engine_config=engine_config or EngineConfig(seed=seed),
         origin_providers=num_providers,
         origin_asn_policy=ORIGIN_ASN_EVEN,
+        mode=baseline_mode,
         cache=cache,
         stats=stats,
     )
