@@ -296,6 +296,118 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the continuous-operation service daemon over a simulated
+    streaming outage workload."""
+    from repro.control.journal import RepairJournal
+    from repro.obs import EventBus, MetricsRegistry
+    from repro.obs.export import (
+        prometheus_text,
+        write_events_jsonl,
+        write_metrics_snapshot,
+    )
+    from repro.service import LifeguardService, ServiceConfig, Watermarks
+    from repro.workloads.outages import OutageArrivalConfig
+    from repro.workloads.scenarios import (
+        build_chaos_deployment,
+        build_deployment,
+    )
+
+    if not args.sim:
+        print(
+            "only simulated operation is implemented: pass --sim",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = MetricsRegistry()
+    bus = EventBus(metrics=registry)
+    journal = None
+    if args.journal:
+        journal = RepairJournal(
+            args.journal,
+            flush_every=args.journal_flush_every,
+            max_bytes=args.journal_max_bytes,
+        )
+    injector = None
+    common = dict(
+        scale=args.scale,
+        seed=args.seed,
+        num_helper_vps=args.vps,
+        num_targets=args.targets,
+        obs=bus,
+        journal=journal,
+    )
+    if args.intensity > 0:
+        scenario, injector = build_chaos_deployment(
+            intensity=args.intensity, **common
+        )
+    else:
+        scenario = build_deployment(**common)
+
+    config = ServiceConfig(
+        duration=args.duration,
+        arrivals=OutageArrivalConfig(
+            rate=1.0 / args.interarrival,
+            duration=args.outage_duration,
+        ),
+        seed=args.seed,
+        queue_capacity=_env_int("REPRO_SERVICE_QUEUE_CAPACITY", 256),
+        watermarks=Watermarks(
+            max_inflight=_env_int("REPRO_SERVICE_MAX_INFLIGHT", 48),
+            probe_budget_per_round=_env_int(
+                "REPRO_SERVICE_PROBE_BUDGET", 4096
+            ),
+            max_journal_lag=_env_int(
+                "REPRO_SERVICE_MAX_JOURNAL_LAG", 256
+            ),
+        ),
+        crash_at=args.crash_at,
+    )
+    service = LifeguardService(
+        scenario, config, obs=bus, injector=injector
+    )
+    report = service.run()
+
+    table = Table(
+        f"Service run ({args.scale}, seed {args.seed})",
+        ["metric", "value"],
+    )
+    blob = report.as_dict()
+    for name in (
+        "duration", "rounds", "monitored_pairs", "arrivals", "records",
+        "repaired", "completed", "pending", "abandoned", "shed",
+        "deferred", "timeouts", "backpressure", "crashes",
+        "tier_transitions", "final_tier", "ttr_p50", "ttr_p95",
+        "ttr_p99", "journal_entries", "journal_rotations", "drained",
+    ):
+        table.add_row(name, blob[name])
+    table.add_note(f"event digest {report.digest[:16]}…")
+    table.emit()
+
+    if args.metrics_out:
+        write_metrics_snapshot(registry, args.metrics_out)
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(registry))
+    if args.events_out:
+        write_events_jsonl(bus.events(), args.events_out)
+    service.journal.close()
+    if report.abandoned:
+        print(
+            f"{report.abandoned} abandoned repair(s): records in flight "
+            f"with no queue slot and no journaled disposition",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.bench import run_bench_suite
     from repro.runner.stats import RunStats
@@ -427,6 +539,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(p)
     p.set_defaults(func=_cmd_chaos)
+    p = sub.add_parser(
+        "serve",
+        help="run the continuous-operation repair daemon over a "
+             "streaming simulated outage workload",
+    )
+    p.add_argument(
+        "--sim", action="store_true",
+        help="drive a simulated deployment (required; the only mode)",
+    )
+    p.add_argument("--scale", default="tiny")
+    p.add_argument(
+        "--duration", type=float, default=14400.0,
+        help="simulated seconds of arrival workload (drain may extend "
+             "the run; default 14400 = 4h)",
+    )
+    p.add_argument(
+        "--interarrival", type=float, default=600.0,
+        help="mean seconds between outage arrivals (Poisson process)",
+    )
+    p.add_argument(
+        "--outage-duration", type=float, default=None,
+        help="fixed outage duration in seconds (default: sample the "
+             "paper's Fig. 1 duration mixture)",
+    )
+    p.add_argument(
+        "--targets", type=int, default=4,
+        help="monitored targets (monitored pairs = targets x VPs)",
+    )
+    p.add_argument(
+        "--vps", type=int, default=5,
+        help="helper vantage points (plus one at the origin)",
+    )
+    p.add_argument(
+        "--intensity", type=float, default=0.0,
+        help="chaos fault intensity in [0, 1] (0 = no injector)",
+    )
+    p.add_argument(
+        "--crash-at", type=float, default=None,
+        help="crash the controller at this sim time and recover it "
+             "from the journal",
+    )
+    p.add_argument(
+        "--journal", default=None,
+        help="write-ahead journal path (default: in-memory)",
+    )
+    p.add_argument(
+        "--journal-max-bytes", type=int,
+        default=_env_int("REPRO_SERVICE_JOURNAL_MAX_BYTES", 0) or None,
+        help="rotate + compact the journal past this size "
+             "(default $REPRO_SERVICE_JOURNAL_MAX_BYTES, unset = never)",
+    )
+    p.add_argument(
+        "--journal-flush-every", type=int, default=1,
+        help="flush the journal every N entries (lag between flushes "
+             "is the fsync-lag overload signal)",
+    )
+    p.add_argument(
+        "--events-out", default=None,
+        help="write the event log (canonical JSONL) to this path",
+    )
+    p.add_argument(
+        "--prom-out", default=None,
+        help="write Prometheus text-format metrics to this path",
+    )
+    _add_metrics_out(p)
+    p.set_defaults(func=_cmd_serve)
     p = sub.add_parser(
         "bench",
         help="run the benchmark suite and write BENCH_<date>.json",

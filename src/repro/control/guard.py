@@ -59,6 +59,9 @@ class PoisonBreaker:
         self.max_failures = max_failures
         self.backoff = backoff
         self._entries: Dict[Tuple[OutageKey, int], _BreakerEntry] = {}
+        #: optional observability bus (duck-typed; see repro.obs.events).
+        self.obs = None
+        self._emitted: Dict[Tuple[OutageKey, int], BreakerState] = {}
 
     def _entry(self, key: OutageKey, asn: int) -> _BreakerEntry:
         return self._entries.setdefault((key, asn), _BreakerEntry())
@@ -85,6 +88,11 @@ class PoisonBreaker:
             return BreakerState.OPEN
         if now < self.retry_at(key, asn):
             return BreakerState.BACKOFF
+        # Backoff elapsed: the breaker half-opens back to CLOSED and the
+        # next poison attempt is the trial that either succeeds or charges
+        # the counter again.  Observing the transition closes the loop for
+        # dashboards (why did this repair resume?).
+        self._emit(key, asn, BreakerState.CLOSED, now, entry.failures)
         return BreakerState.CLOSED
 
     def record_failure(self, key: OutageKey, asn: int, now: float) -> int:
@@ -92,7 +100,39 @@ class PoisonBreaker:
         entry = self._entry(key, asn)
         entry.failures += 1
         entry.last_failure = now
+        self._emit(
+            key,
+            asn,
+            BreakerState.OPEN
+            if entry.failures >= self.max_failures
+            else BreakerState.BACKOFF,
+            now,
+            entry.failures,
+        )
         return entry.failures
+
+    def _emit(
+        self,
+        key: OutageKey,
+        asn: int,
+        state: BreakerState,
+        now: float,
+        failures: int,
+    ) -> None:
+        """Emit breaker transitions (deduplicated) on the obs bus."""
+        if self.obs is None or self._emitted.get((key, asn)) is state:
+            return
+        self._emitted[(key, asn)] = state
+        subject = "|".join(str(part) for part in key) + f"|{asn}"
+        self.obs.emit(
+            "guard.breaker",
+            now,
+            "control.guard",
+            subject=subject,
+            state=state.value,
+            failures=failures,
+            retry_at=self.retry_at(key, asn),
+        )
 
     def restore(
         self, key: OutageKey, asn: int, failures: int, last_failure: float

@@ -18,13 +18,35 @@ test compares them byte-for-byte).  Entries share a small schema::
      ...event-specific fields...}
 
 Journals default to in-memory (pure simulation runs pay no I/O); pass a
-path to persist every entry with an immediate flush, which is what the
-chaos CI job uploads when a crash-recovery test fails.
+path to persist every entry, which is what the chaos CI job uploads when
+a crash-recovery test fails.
+
+**Durability vs throughput** — *flush_every* batches flushes: 1 (the
+default) flushes after every entry, exactly the old behaviour; larger
+values let a high-rate service amortize the I/O and expose the resulting
+write lag via :attr:`RepairJournal.lag`, which the service's admission
+control watches as an overload signal.
+
+**Rotation & compaction** — a week-long service run appends forever, so
+with *max_bytes* (or *max_entries*) set the journal rotates: the active
+file is renamed to ``<path>.<n>``, and a fresh active segment is written
+that begins with a ``compacted`` marker followed by a complete snapshot
+of the still-live state — every entry of every non-terminal outage,
+synthesized ``breaker`` and ``pacer`` entries standing in for the dropped
+terminal records' circuit-breaker charges and announcement-pacing
+timestamps, and the latest entry of each other keyless event kind.  The
+marker also carries per-kind counts of everything dropped, so cursors
+derived from entry counts (e.g. the service's arrival index) survive.
+Replay across segments reads them oldest-first; a marker means "what
+follows supersedes everything before", so :meth:`RepairJournal.load`
+resets its accumulated entries at each one.  Superseded segments beyond
+*retain_segments* are deleted — that is the disk bound.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ControlError
@@ -36,6 +58,14 @@ JOURNAL_VERSION = 1
 #: Object identity is useless here — record objects die with the process
 #: (and ``id()`` values are recycled by the allocator even within one).
 OutageKey = Tuple[str, str, float]
+
+#: Repair states after which a record can never change again; compaction
+#: drops their entries (values of the journal's ``state`` events).
+TERMINAL_STATES = ("not-poisoned", "unpoisoned")
+
+#: Keyless events compaction replaces with synthesized summaries instead
+#: of keeping verbatim.
+_SYNTHESIZED = ("announce-baseline", "announced", "pacer", "breaker")
 
 
 def outage_key(vp_name: str, destination, start: float) -> OutageKey:
@@ -55,16 +85,56 @@ def key_from_json(blob: Dict[str, Any]) -> OutageKey:
 class RepairJournal:
     """Append-only JSONL log of repair state transitions."""
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        flush_every: int = 1,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        retain_segments: int = 2,
+        pacer_window: float = 5400.0,
+    ) -> None:
+        if flush_every < 1:
+            raise ControlError("flush_every must be >= 1")
         self.path = path
         self.entries: List[Dict[str, Any]] = []
+        self.flush_every = flush_every
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.retain_segments = retain_segments
+        #: announcement-pacing window; compaction prunes synthesized pacer
+        #: timestamps older than this (they can never count again).
+        self.pacer_window = pacer_window
+        #: entries written but not yet flushed (the fsync-lag signal).
+        self.pending = 0
+        self.flushes = 0
+        self.rotations = 0
+        #: entries dropped by compaction over the journal's life.
+        self.compacted_away = 0
         self._fh: Optional[IO[str]] = None
+        self._bytes = 0
+        self._segment = 0
+        #: size of the freshly compacted state after the last rotation;
+        #: rotating again before the log doubles past this would churn
+        #: (live state larger than max_bytes must not rotate per append).
+        self._floor_bytes = 0
+        self._floor_entries = 0
         if path is not None:
+            for index in _rotated_indices(path):
+                self._segment = max(self._segment, index)
+            if os.path.exists(path):
+                self._bytes = os.path.getsize(path)
             self._fh = open(path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    @property
+    def lag(self) -> int:
+        """Unflushed entries — the journal's write (fsync) lag."""
+        return self.pending
+
     def append(
         self,
         event: str,
@@ -85,14 +155,77 @@ class RepairJournal:
                 entry[name] = value
         self.entries.append(entry)
         if self._fh is not None:
-            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
-            self._fh.flush()
+            line = json.dumps(entry, sort_keys=True) + "\n"
+            self._fh.write(line)
+            self._bytes += len(line.encode("utf-8"))
+            self.pending += 1
+            if self.pending >= self.flush_every:
+                self.flush()
+        if self._due_for_rotation():
+            self._rotate(now=float(t))
         return entry
+
+    def flush(self) -> None:
+        """Force buffered entries to disk (clears :attr:`lag`)."""
+        if self._fh is not None and self.pending:
+            self._fh.flush()
+            self.flushes += 1
+        self.pending = 0
 
     def close(self) -> None:
         if self._fh is not None:
+            self.flush()
             self._fh.close()
             self._fh = None
+
+    # ------------------------------------------------------------------
+    # Rotation + compaction
+    # ------------------------------------------------------------------
+    def _due_for_rotation(self) -> bool:
+        # The floor terms stop churn when live state alone exceeds the
+        # limit: rotate only once the log doubles past the last
+        # compaction, so each rotation reclaims at least half the file.
+        if self.max_bytes is not None and self._fh is not None:
+            if self._bytes > max(self.max_bytes, 2 * self._floor_bytes):
+                return True
+        if self.max_entries is not None:
+            return len(self.entries) > max(
+                self.max_entries, 2 * self._floor_entries
+            )
+        return False
+
+    def _rotate(self, now: float) -> None:
+        """Seal the active segment and start a compacted successor."""
+        self._segment += 1
+        self.rotations += 1
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            os.replace(self.path, f"{self.path}.{self._segment}")
+        kept, marker = _compact(
+            self.entries, self.pacer_window, self._segment, now
+        )
+        self.compacted_away += marker["dropped"]
+        self.entries = kept
+        if self.path is not None:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._bytes = 0
+            for entry in self.entries:
+                line = json.dumps(entry, sort_keys=True) + "\n"
+                self._fh.write(line)
+                self._bytes += len(line.encode("utf-8"))
+            self._fh.flush()
+            self.flushes += 1
+            self._prune_segments()
+        self._floor_bytes = self._bytes
+        self._floor_entries = len(self.entries)
+
+    def _prune_segments(self) -> None:
+        """Delete superseded segments beyond the retention count."""
+        keep_from = self._segment - self.retain_segments + 1
+        for index in _rotated_indices(self.path):
+            if index < keep_from:
+                os.remove(f"{self.path}.{index}")
 
     # ------------------------------------------------------------------
     # Reading
@@ -110,26 +243,211 @@ class RepairJournal:
         blob = key_to_json(key)
         return [e for e in self.entries if e.get("outage") == blob]
 
+    def count_of(self, event: str) -> int:
+        """Occurrences of *event* over the journal's whole life —
+        compaction-dropped entries included, via the markers' per-kind
+        counts.  This is what cursors (e.g. the service's next-arrival
+        index) must use instead of ``len(of_event(...))``."""
+        total = len(self.of_event(event))
+        for marker in self.of_event("compacted"):
+            total += marker.get("event_counts", {}).get(event, 0)
+        return total
+
     @classmethod
-    def load(cls, path: str) -> "RepairJournal":
-        """Read a persisted journal back for replay (does not reopen for
-        appending — pass the path to the constructor for that)."""
-        journal = cls()
-        with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ControlError(
-                        f"{path}:{lineno}: malformed journal line: {exc}"
-                    )
-                if entry.get("v") != JOURNAL_VERSION:
-                    raise ControlError(
-                        f"{path}:{lineno}: journal version "
-                        f"{entry.get('v')!r}, expected {JOURNAL_VERSION}"
-                    )
-                journal.entries.append(entry)
+    def load(
+        cls, path: str, *, resume: bool = False, **kwargs: Any
+    ) -> "RepairJournal":
+        """Read a persisted journal back for replay.
+
+        Reads rotated segments oldest-first, then the active file.  A
+        ``compacted`` marker declares the entries that follow a complete
+        snapshot of live state, so everything accumulated before it is
+        discarded — replaying a rotated journal therefore reconstructs
+        exactly the state the live controller carried.
+
+        With *resume*, the returned journal is also reopened for
+        appending at *path* (passing **kwargs** through to the
+        constructor) — how a restarted service picks its write-ahead log
+        back up where the dead process left it.
+        """
+        entries: List[Dict[str, Any]] = []
+        paths = [
+            f"{path}.{index}" for index in _rotated_indices(path)
+        ]
+        if os.path.exists(path) or not paths:
+            paths.append(path)
+        for segment in paths:
+            _read_segment(segment, entries)
+        journal = cls(path if resume else None, **kwargs)
+        journal.entries = entries
         return journal
+
+
+def _rotated_indices(path: str) -> List[int]:
+    """Indices of ``<path>.<n>`` rotated segments, ascending."""
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path) + "."
+    indices = []
+    if not os.path.isdir(directory):
+        return indices
+    for name in os.listdir(directory):
+        if name.startswith(base) and name[len(base):].isdigit():
+            indices.append(int(name[len(base):]))
+    return sorted(indices)
+
+
+def _read_segment(path: str, entries: List[Dict[str, Any]]) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ControlError(
+                    f"{path}:{lineno}: malformed journal line: {exc}"
+                )
+            if entry.get("v") != JOURNAL_VERSION:
+                raise ControlError(
+                    f"{path}:{lineno}: journal version "
+                    f"{entry.get('v')!r}, expected {JOURNAL_VERSION}"
+                )
+            if entry.get("event") == "compacted":
+                # The marker's snapshot supersedes everything before it.
+                entries.clear()
+            entries.append(entry)
+
+
+def _compact(
+    entries: List[Dict[str, Any]],
+    pacer_window: float,
+    segment: int,
+    now: float,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Rewrite *entries* down to live state; returns (kept, marker).
+
+    Keeps every entry of every non-terminal outage verbatim (their replay
+    is untouched), synthesizes ``breaker`` and ``pacer`` entries covering
+    what the dropped terminal records contributed to cross-outage state,
+    keeps the latest entry of each other keyless kind, and heads the
+    result with a ``compacted`` marker carrying per-kind drop counts.
+    """
+    last_state: Dict[OutageKey, str] = {}
+    for entry in entries:
+        if entry["event"] == "state" and "outage" in entry:
+            last_state[key_from_json(entry["outage"])] = entry["state"]
+    terminal = {
+        key
+        for key, state in last_state.items()
+        if state in TERMINAL_STATES
+    }
+
+    floor = now - pacer_window
+    pacer_times: List[float] = []
+    breaker: Dict[Tuple[str, str, int], List[float]] = {}
+    keyless_last: Dict[str, Dict[str, Any]] = {}
+    keyless_counts: Dict[str, int] = {}
+    event_counts: Dict[str, int] = {}
+    kept_records: List[Dict[str, Any]] = []
+    dropped = 0
+
+    def charge(entry: Dict[str, Any]) -> None:
+        nonlocal dropped
+        dropped += 1
+        event_counts[entry["event"]] = (
+            event_counts.get(entry["event"], 0) + 1
+        )
+
+    for entry in entries:
+        event = entry["event"]
+        if "outage" in entry:
+            key = key_from_json(entry["outage"])
+            if key in terminal:
+                # Terminal records drop, but their contributions to
+                # cross-outage state (breaker charges, pacing budget)
+                # must survive as synthesized entries.
+                if event == "rollback":
+                    slot = breaker.setdefault(
+                        (key[0], key[1], entry["asn"]),
+                        [0.0, float("-inf")],
+                    )
+                    slot[0] = max(slot[0], entry["failures"])
+                    slot[1] = max(slot[1], entry["t"])
+                if event == "announced" and entry["t"] > floor:
+                    pacer_times.append(entry["t"])
+                charge(entry)
+            else:
+                kept_records.append(entry)
+            continue
+        if event == "compacted":
+            # Fold a previous marker's drop counts forward.
+            dropped += entry.get("dropped", 0)
+            for kind, count in entry.get("event_counts", {}).items():
+                event_counts[kind] = event_counts.get(kind, 0) + count
+            continue
+        if event in ("announce-baseline", "announced"):
+            if entry["t"] > floor:
+                pacer_times.append(entry["t"])
+            charge(entry)
+            continue
+        if event == "pacer":
+            pacer_times.extend(
+                t for t in entry.get("times", ()) if t > floor
+            )
+            charge(entry)
+            continue
+        if event == "breaker":
+            slot = breaker.setdefault(
+                (entry["vp"], entry["dst"], entry["asn"]),
+                [0.0, float("-inf")],
+            )
+            slot[0] = max(slot[0], entry["failures"])
+            slot[1] = max(slot[1], entry["last_failure"])
+            charge(entry)
+            continue
+        # Any other keyless kind: keep only the latest occurrence.
+        if event in keyless_last:
+            charge(keyless_last[event])
+        keyless_last[event] = entry
+        keyless_counts[event] = keyless_counts.get(event, 0) + 1
+
+    kept: List[Dict[str, Any]] = []
+    marker = {
+        "v": JOURNAL_VERSION,
+        "t": now,
+        "event": "compacted",
+        "segment": segment,
+        "dropped": dropped,
+        "kept": 0,  # patched below
+        "event_counts": {k: event_counts[k] for k in sorted(event_counts)},
+    }
+    kept.append(marker)
+    if pacer_times:
+        kept.append(
+            {
+                "v": JOURNAL_VERSION,
+                "t": now,
+                "event": "pacer",
+                "times": sorted(pacer_times),
+            }
+        )
+    for (vp, dst, asn) in sorted(breaker):
+        failures, last_failure = breaker[(vp, dst, asn)]
+        kept.append(
+            {
+                "v": JOURNAL_VERSION,
+                "t": now,
+                "event": "breaker",
+                "vp": vp,
+                "dst": dst,
+                "asn": asn,
+                "failures": int(failures),
+                "last_failure": last_failure,
+            }
+        )
+    for event in sorted(keyless_last):
+        kept.append(keyless_last[event])
+    kept.extend(kept_records)
+    marker["kept"] = len(kept) - 1
+    return kept, marker

@@ -288,6 +288,7 @@ class Lifeguard:
         self.monitor.obs = bus
         self.isolator.obs = bus
         self.guard.obs = bus
+        self.guard.breaker.obs = bus
         self.origin.obs = bus
 
     def announce(self) -> None:
@@ -375,8 +376,12 @@ class Lifeguard:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def tick(self, now: float) -> None:
-        """One monitoring round plus any due control actions."""
+    def begin_round(self, now: float) -> None:
+        """Advance the world and take one monitoring round — no repair
+        work.  The repair stages below are separate entry points so the
+        service daemon can feed records through bounded queues with its
+        own budgets; :meth:`tick` composes them inline for one-shot runs.
+        """
         if self.engine.now < now:
             self.engine.advance_to(now)
         self.dataplane.now = now
@@ -389,10 +394,37 @@ class Lifeguard:
                 self.refresh_dataplane()
         self.monitor.run_round(now)
         self._journal_ended_outages()
+
+    def observed_records(self) -> List[RepairRecord]:
+        """Ongoing-outage records awaiting isolation, in detection order."""
+        waiting = []
         for outage in self.monitor.ongoing_outages():
             record = self._record_for(outage)
             if record.state is RepairState.OBSERVED:
-                self._maybe_isolate_and_poison(record, now)
+                waiting.append(record)
+        return waiting
+
+    def stage_isolate(self, record: RepairRecord, now: float) -> None:
+        """Isolation → poison decision for one OBSERVED record."""
+        self._maybe_isolate_and_poison(record, now)
+
+    def stage_verify(self, record: RepairRecord, now: float) -> None:
+        """Post-poison verification for one VERIFYING record."""
+        self._maybe_verify(record, now)
+
+    def stage_retry(self, record: RepairRecord, now: float) -> None:
+        """Breaker-gated re-poison for one ROLLED_BACK record."""
+        self._maybe_retry_after_rollback(record, now)
+
+    def stage_check(self, record: RepairRecord, now: float) -> None:
+        """Repair-detection probe (and unpoison) for one POISONED record."""
+        self._maybe_check_repair(record, now)
+
+    def tick(self, now: float) -> None:
+        """One monitoring round plus any due control actions."""
+        self.begin_round(now)
+        for record in self.observed_records():
+            self.stage_isolate(record, now)
         # Poisoned records keep getting repair checks even after the
         # monitor sees connectivity again — the monitor's pings travel the
         # *poisoned* (rerouted) path, so its recovery says nothing about
@@ -400,11 +432,11 @@ class Lifeguard:
         # rollback retries likewise follow the record, not the outage.
         for record in self.records:
             if record.state is RepairState.VERIFYING:
-                self._maybe_verify(record, now)
+                self.stage_verify(record, now)
             elif record.state is RepairState.ROLLED_BACK:
-                self._maybe_retry_after_rollback(record, now)
+                self.stage_retry(record, now)
             elif record.state is RepairState.POISONED:
-                self._maybe_check_repair(record, now)
+                self.stage_check(record, now)
 
     def run(self, start: float, end: float) -> None:
         """Tick from *start* to *end* at the monitor interval."""
@@ -879,6 +911,19 @@ class Lifeguard:
                 record = RepairRecord(outage=outage)
                 self._records_by_outage[key] = record
                 self.records.append(record)
+            elif event == "pacer":
+                # Compaction-synthesized pacing timestamps standing in
+                # for dropped announce entries.
+                announce_times.extend(entry["times"])
+            elif event == "breaker":
+                # Compaction-synthesized breaker charge standing in for
+                # a dropped terminal record's rollbacks.
+                self.guard.breaker.restore(
+                    (entry["vp"], entry["dst"]),
+                    entry["asn"],
+                    entry["failures"],
+                    entry["last_failure"],
+                )
             elif record is None:
                 continue
             elif event == "outage-ended":

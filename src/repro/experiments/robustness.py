@@ -37,19 +37,26 @@ from repro.runner.cache import DiskCache, resolve_cache
 from repro.runner.core import run_trials
 from repro.runner.stats import RunStats
 from repro.splice.reachability import reachable_set_avoiding
-from repro.workloads.outages import generate_outage_trace
+from repro.workloads.outages import (
+    OutageArrivalConfig,
+    generate_outage_schedule,
+    generate_outage_trace,
+)
 from repro.workloads.scenarios import (
     DeploymentScenario,
     build_chaos_deployment,
 )
 
-#: Ground-truth failure schedule: outage *k* starts at
-#: ``FIRST_FAILURE + k * FAILURE_SPACING`` and lasts ``FAILURE_DURATION``,
-#: leaving room for detection, poisoning, repair detection and unpoisoning
-#: before the next one begins.
-FIRST_FAILURE = 1000.0
-FAILURE_DURATION = 7200.0
-FAILURE_SPACING = 9000.0
+#: Ground-truth failure schedule: the same calibrated arrival generator
+#: the service daemon streams from (:func:`generate_outage_schedule`), in
+#: its deterministic fixed-spacing mode — outage *k* starts at
+#: ``1000 + k * 9000`` and lasts 7200 s, leaving room for detection,
+#: poisoning, repair detection and unpoisoning before the next begins.
+ROBUSTNESS_ARRIVALS = OutageArrivalConfig(
+    first_arrival=1000.0,
+    spacing=9000.0,
+    duration=7200.0,
+)
 
 
 @dataclass
@@ -206,18 +213,20 @@ def _run_point(
     point = RobustnessPoint(intensity=intensity, stats=injector.stats)
 
     true_asns = set()
-    for index in range(num_outages):
-        target = scenario.targets[index % len(scenario.targets)]
+    schedule = generate_outage_schedule(
+        num_outages, ROBUSTNESS_ARRIVALS, seed=seed
+    )
+    for scheduled in schedule:
+        target = scenario.targets[scheduled.index % len(scenario.targets)]
         true_asn = _true_as_for(scenario, target)
         if true_asn is None:
             continue
-        start = FIRST_FAILURE + index * FAILURE_SPACING
         outage = InjectedOutage(
             target=target,
             target_asn=scenario.topo.router_by_address(target).asn,
             true_asn=true_asn,
-            start=start,
-            end=start + FAILURE_DURATION,
+            start=scheduled.start,
+            end=scheduled.end,
         )
         # Scope the drop toward the sentinel super-prefix so both the
         # production path and the repair-detection channel break — the
@@ -233,7 +242,11 @@ def _run_point(
         point.outages.append(outage)
         true_asns.add(true_asn)
 
-    end = FIRST_FAILURE + num_outages * FAILURE_SPACING + 2400.0
+    end = (
+        ROBUSTNESS_ARRIVALS.first_arrival
+        + num_outages * ROBUSTNESS_ARRIVALS.spacing
+        + 2400.0
+    )
     interval = lifeguard.config.monitor_interval
     now = 30.0
     down_until: Optional[float] = None

@@ -221,6 +221,62 @@ def _bench_robustness(
     }
 
 
+def _bench_service(
+    scale: str, seed: int, workers: int,
+    cache: Optional[DiskCache], stats: RunStats,
+) -> BenchResult:
+    """The continuous-operation daemon over >=1000 monitored pairs.
+
+    Pins its own deployment size regardless of the suite scale — the
+    point is the paper's service sizing (§5.3): a thousand-plus
+    concurrently monitored (vantage, target) pairs sustained at a fixed
+    p99 time-to-repair with zero abandoned repairs.  Arrivals are
+    fixed-spacing so overlap stays bounded and every injected outage is
+    individually repairable; the run must drain completely.
+    """
+    from repro.control.lifeguard import LifeguardConfig
+    from repro.obs.events import EventBus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import LifeguardService, ServiceConfig
+    from repro.workloads.outages import OutageArrivalConfig
+    from repro.workloads.scenarios import build_deployment
+
+    obs = EventBus(metrics=MetricsRegistry())
+    scenario = build_deployment(
+        scale="small",
+        seed=seed,
+        num_helper_vps=9,
+        num_targets=125,
+        obs=obs,
+        lifeguard_config=LifeguardConfig(monitor_interval=120.0),
+        cache=cache,
+        stats=stats,
+    )
+    config = ServiceConfig(
+        duration=3000.0,
+        arrivals=OutageArrivalConfig(
+            first_arrival=600.0, spacing=600.0, duration=900.0
+        ),
+        seed=seed,
+        drain=4800.0,
+    )
+    service = LifeguardService(scenario, config, obs=obs)
+    report = service.run()
+    return report.rounds, {
+        "monitored_pairs": report.monitored_pairs,
+        "rounds": report.rounds,
+        "arrivals": report.arrivals,
+        "records": report.records,
+        "repaired": report.repaired,
+        "completed": report.completed,
+        "abandoned": report.abandoned,
+        "timeouts": report.timeouts,
+        "ttr_p50": report.ttr_p50,
+        "ttr_p99": report.ttr_p99,
+        "drained": report.drained,
+    }
+
+
 #: Name -> body, in suite execution order.
 BENCHMARKS: Dict[
     str,
@@ -233,6 +289,7 @@ BENCHMARKS: Dict[
     "diversity": _bench_diversity,
     "alternate_paths": _bench_alternate_paths,
     "robustness": _bench_robustness,
+    "service": _bench_service,
 }
 
 

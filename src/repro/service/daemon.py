@@ -1,0 +1,825 @@
+"""Lifeguard-as-a-service: the continuous-operation repair daemon.
+
+:class:`LifeguardService` turns the one-shot experiment harness into the
+system the paper actually describes (§5.3 sizes update load against
+*continuous* operation over thousands of monitored prefixes): a
+deterministic long-running daemon that streams ground-truth outages from
+the calibrated arrival process in :mod:`repro.workloads.outages` into a
+:class:`~repro.control.lifeguard.Lifeguard`, routing every repair through
+bounded per-stage queues with explicit backpressure, watermark-driven
+admission control, per-stage deadlines with retry-and-requeue, and a
+four-tier graceful-degradation ladder (see :mod:`repro.service.admission`).
+
+Everything the service decides is journaled through the controller's
+write-ahead journal (``service-plan``, ``service-arrival``,
+``service-tier``, ``service-shed``, ``service-defer``,
+``service-timeout`` entries), so a crashed daemon recovers — records,
+queues, arrival cursor, and degradation tier — byte-identically, which
+the sustained-load determinism property test pins via the event-bus
+SHA-256 digest.
+
+The simulation clock is the only clock: one :meth:`run_round` per
+monitor interval, every decision a pure function of simulation state, so
+a run is reproducible across hosts, workers, and crash/recover cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.control.journal import OutageKey, RepairJournal
+from repro.control.lifeguard import Lifeguard, RepairRecord, RepairState
+from repro.dataplane.failures import ASForwardingFailure
+from repro.service.admission import (
+    AdmissionController,
+    OverloadSignals,
+    ServiceTier,
+    Watermarks,
+)
+from repro.service.queues import Stage, StageQueue
+from repro.splice.reachability import reachable_set_avoiding
+from repro.workloads.outages import (
+    OutageArrivalConfig,
+    ScheduledOutage,
+    generate_outage_schedule,
+    generate_outage_trace,
+)
+from repro.workloads.scenarios import DeploymentScenario
+
+#: Default streaming workload: Poisson arrivals, one outage per ten
+#: minutes on average, durations sampled from the paper's Fig. 1 mixture.
+DEFAULT_ARRIVALS = OutageArrivalConfig(first_arrival=1000.0, rate=1 / 600.0)
+
+#: Repair states that need no further service work.  ROLLED_BACK and
+#: OBSERVED also settle once the underlying outage has healed.
+_SETTLED = (RepairState.NOT_POISONED, RepairState.UNPOISONED)
+
+#: Histogram bounds for time-to-repair (sim seconds).
+TTR_BUCKETS: Tuple[float, ...] = (
+    300.0, 600.0, 900.0, 1200.0, 1800.0, 2700.0, 3600.0, 7200.0, 14400.0
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Operating parameters of the daemon."""
+
+    #: sim seconds of arrival workload (drain may run past this).
+    duration: float = 43200.0
+    arrivals: OutageArrivalConfig = field(
+        default_factory=lambda: DEFAULT_ARRIVALS
+    )
+    #: explicit arrival count; None derives it from duration x rate.
+    num_outages: Optional[int] = None
+    #: seed for the arrival schedule (and recovery duration history).
+    seed: int = 0
+    #: per-stage queue bound — the backpressure point.
+    queue_capacity: int = 256
+    #: per-round work budgets per stage.
+    isolate_budget: int = 8
+    verify_budget: int = 32
+    retry_budget: int = 8
+    check_budget: int = 32
+    #: max sim seconds an item may wait in one stage queue before its
+    #: journaled timeout-and-requeue.
+    stage_deadline: float = 1800.0
+    watermarks: Watermarks = field(default_factory=Watermarks)
+    #: extra sim seconds granted after the last arrival to drain
+    #: in-flight repairs before shutdown.
+    drain: float = 21600.0
+    #: crash the controller at this sim time (tests / chaos CI) ...
+    crash_at: Optional[float] = None
+    #: ... and recover it from the journal after this long down.
+    crash_downtime: float = 300.0
+
+
+@dataclass
+class ServiceReport:
+    """What one service run did, for the CLI table and the bench."""
+
+    duration: float
+    rounds: int
+    monitored_pairs: int
+    arrivals: int
+    records: int
+    repaired: int
+    completed: int
+    settled: int
+    pending: int
+    abandoned: int
+    shed: int
+    deferred: int
+    timeouts: int
+    backpressure: int
+    crashes: int
+    tier_transitions: int
+    final_tier: str
+    ttr_p50: Optional[float]
+    ttr_p95: Optional[float]
+    ttr_p99: Optional[float]
+    queue_peaks: Dict[str, int]
+    journal_entries: int
+    journal_rotations: int
+    drained: bool
+    digest: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "duration": self.duration,
+            "rounds": self.rounds,
+            "monitored_pairs": self.monitored_pairs,
+            "arrivals": self.arrivals,
+            "records": self.records,
+            "repaired": self.repaired,
+            "completed": self.completed,
+            "settled": self.settled,
+            "pending": self.pending,
+            "abandoned": self.abandoned,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "timeouts": self.timeouts,
+            "backpressure": self.backpressure,
+            "crashes": self.crashes,
+            "tier_transitions": self.tier_transitions,
+            "final_tier": self.final_tier,
+            "ttr_p50": self.ttr_p50,
+            "ttr_p95": self.ttr_p95,
+            "ttr_p99": self.ttr_p99,
+            "queue_peaks": dict(sorted(self.queue_peaks.items())),
+            "journal_entries": self.journal_entries,
+            "journal_rotations": self.journal_rotations,
+            "drained": self.drained,
+            "digest": self.digest,
+        }
+
+
+def poisonable_transit_as(
+    scenario: DeploymentScenario, target
+) -> Optional[int]:
+    """A transit AS on target->origin whose loss poisoning can avoid.
+
+    Evaluated once per target on the pristine converged baseline, before
+    any failure is injected — so the service's ground-truth plan is a
+    pure function of the deployment, independent of when (or whether) the
+    controller crashed.  Of the avoidable on-path candidates, returns the
+    lowest-degree one: failing a well-connected core AS toward the
+    sentinel would black-hole most of the monitored population at once
+    (and overlapping core failures are unrepairable by single-AS
+    poisoning), whereas the paper's partial outages are localized near
+    the edge.  The origin's direct providers are deprioritized the same
+    way — every monitored path crosses one, so failing a provider is a
+    mass outage — but remain the fallback on topologies (e.g. tiny)
+    where the whole path is origin, providers and the target itself.
+    """
+    lifeguard = scenario.lifeguard
+    topo = scenario.topo
+    origin_rid = topo.routers_of(scenario.origin_asn)[0]
+    origin_addr = topo.router(origin_rid).address
+    target_rid = lifeguard.dataplane.host_router(target)
+    target_asn = topo.router_by_address(target).asn
+    walk = lifeguard.dataplane.forward(target_rid, origin_addr)
+    if not walk.delivered:
+        return None
+    providers = set(scenario.graph.providers(scenario.origin_asn))
+    candidates = []
+    for asn in walk.as_level_hops(topo)[1:-1]:
+        if asn in (scenario.origin_asn, target_asn):
+            continue
+        reachable = reachable_set_avoiding(
+            scenario.graph, scenario.origin_asn, avoid=[asn]
+        )
+        if target_asn in reachable:
+            candidates.append(asn)
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda asn: (
+            asn in providers,
+            scenario.graph.degree(asn),
+            asn,
+        ),
+    )
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of *values* (not assumed sorted)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LifeguardService:
+    """The daemon: drives one deployment over a streaming workload."""
+
+    #: which queue serves each non-settled repair state.
+    _STAGE_FOR_STATE = {
+        RepairState.OBSERVED: Stage.ISOLATE,
+        RepairState.VERIFYING: Stage.VERIFY,
+        RepairState.ROLLED_BACK: Stage.RETRY,
+        RepairState.POISONED: Stage.CHECK,
+    }
+
+    def __init__(
+        self,
+        scenario: DeploymentScenario,
+        config: Optional[ServiceConfig] = None,
+        obs=None,
+        injector=None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or ServiceConfig()
+        self.obs = obs
+        self.injector = injector
+        self.admission = AdmissionController(self.config.watermarks)
+        self.queues: Dict[Stage, StageQueue] = {
+            stage: StageQueue(
+                stage,
+                self.config.queue_capacity,
+                self.config.stage_deadline,
+            )
+            for stage in Stage
+        }
+        self.schedule: List[ScheduledOutage] = self._build_schedule()
+        #: (target_str, true_asn) per poisonable target; journaled.
+        self.plan: List[Tuple[str, int]] = []
+        self.cursor = 0
+        self.rounds = 0
+        self.crashes = 0
+        self.shed = 0
+        self.deferred = 0
+        self.backpressure = 0
+        self.ttr: List[float] = []
+        self._ttr_done: set = set()
+        self._shed_logged: set = set()
+        self._probes_prev = self.lifeguard.prober.probes_sent
+        self._last_outage_end = 0.0
+        self._crashed = False
+        self._started = False
+        self._drained = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def lifeguard(self) -> Lifeguard:
+        return self.scenario.lifeguard
+
+    @property
+    def journal(self) -> RepairJournal:
+        return self.lifeguard.journal
+
+    @property
+    def monitored_pairs(self) -> int:
+        return len(self.scenario.vantage_points) * len(
+            self.scenario.targets
+        )
+
+    def _build_schedule(self) -> List[ScheduledOutage]:
+        arrivals = self.config.arrivals
+        count = self.config.num_outages
+        if count is None:
+            span = max(0.0, self.config.duration - arrivals.first_arrival)
+            if arrivals.spacing is not None:
+                count = int(span / arrivals.spacing) + 1
+            else:
+                count = int(span * arrivals.rate) + 1
+        schedule = generate_outage_schedule(
+            count, arrivals, seed=self.config.seed
+        )
+        return [s for s in schedule if s.start <= self.config.duration]
+
+    def _metrics(self):
+        if self.obs is not None:
+            return self.obs.metrics
+        return None
+
+    def _emit(self, kind: str, t: float, **fields) -> None:
+        if self.obs is not None:
+            self.obs.emit(kind, t, "service", **fields)
+
+    def _gauge(self, name: str, value: float) -> None:
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.set_gauge(name, value)
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.inc(name, amount)
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Prime the atlas and journal the ground-truth target plan."""
+        self.lifeguard.prime_atlas(now=0.0)
+        plan = []
+        for target in self.scenario.targets:
+            asn = poisonable_transit_as(self.scenario, target)
+            if asn is not None:
+                plan.append((str(target), asn))
+        self.plan = plan
+        self.journal.append(
+            "service-plan",
+            0.0,
+            targets=[[t, a] for t, a in plan],
+            monitored_pairs=self.monitored_pairs,
+        )
+        self._probes_prev = self.lifeguard.prober.probes_sent
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def run_round(self, now: float) -> None:
+        self.rounds += 1
+        self._inject_due_arrivals(now)
+        self.lifeguard.begin_round(now)
+        timeouts = self._expire_deadlines(now)
+        tier = self._update_tier(now)
+        shed, deferred = self._admit(now)
+        processed = self._process_stages(now, tier)
+        self._harvest_ttr(now)
+        self._publish(now, tier, shed, deferred, timeouts, processed)
+
+    def _inject_due_arrivals(self, now: float) -> None:
+        if not self.plan:
+            return
+        while (
+            self.cursor < len(self.schedule)
+            and self.schedule[self.cursor].start <= now
+        ):
+            scheduled = self.schedule[self.cursor]
+            target, asn = self.plan[scheduled.index % len(self.plan)]
+            self.lifeguard.dataplane.failures.add(
+                ASForwardingFailure(
+                    asn=asn,
+                    toward=self.lifeguard.sentinel_manager.sentinel,
+                    start=scheduled.start,
+                    end=scheduled.end,
+                )
+            )
+            self._last_outage_end = max(
+                self._last_outage_end, scheduled.end
+            )
+            self.journal.append(
+                "service-arrival",
+                now,
+                index=scheduled.index,
+                target=target,
+                asn=asn,
+                start=scheduled.start,
+                end=scheduled.end,
+            )
+            self._emit(
+                "service.arrival",
+                now,
+                subject=target,
+                index=scheduled.index,
+                asn=asn,
+                outage_duration=scheduled.duration,
+            )
+            self._count("service.arrivals")
+            self.cursor += 1
+
+    def _expire_deadlines(self, now: float) -> int:
+        breached = 0
+        for stage, queue in self.queues.items():
+            for item in queue.expire(now):
+                breached += 1
+                self.journal.append(
+                    "service-timeout",
+                    now,
+                    key=item.key,
+                    stage=stage.value,
+                    attempts=item.attempts,
+                )
+                self._count("service.timeouts")
+        return breached
+
+    def _signals(self, now: float) -> OverloadSignals:
+        inflight = sum(
+            record.state
+            in (RepairState.VERIFYING, RepairState.POISONED)
+            for record in self.lifeguard.records
+        )
+        probes = self.lifeguard.prober.probes_sent
+        utilisation = (probes - self._probes_prev) / max(
+            1, self.config.watermarks.probe_budget_per_round
+        )
+        self._probes_prev = probes
+        return OverloadSignals(
+            inflight=inflight,
+            probe_utilisation=utilisation,
+            journal_lag=self.journal.lag,
+            queue_occupancy=max(
+                queue.occupancy for queue in self.queues.values()
+            ),
+        )
+
+    def _update_tier(self, now: float) -> ServiceTier:
+        before = self.admission.tier
+        tier = self.admission.evaluate(self._signals(now))
+        if tier is not before:
+            self.journal.append(
+                "service-tier", now, tier=int(tier), name=tier.name
+            )
+            self._emit(
+                "service.tier",
+                now,
+                tier=tier.name,
+                previous=before.name,
+            )
+        self._gauge("service.tier", int(tier))
+        return tier
+
+    def _admit(self, now: float) -> Tuple[int, int]:
+        """Feed newly observed outages into the isolate queue."""
+        shed = deferred = 0
+        isolate = self.queues[Stage.ISOLATE]
+        for record in self.lifeguard.observed_records():
+            key = record.key
+            if key in isolate:
+                continue
+            if not self.admission.admitting:
+                shed += 1
+                self._count("service.shed")
+                if key not in self._shed_logged:
+                    self._shed_logged.add(key)
+                    self.journal.append(
+                        "service-shed",
+                        now,
+                        key=key,
+                        tier=self.admission.tier.name,
+                    )
+                continue
+            if not isolate.offer(key, now):
+                # Queue full: backpressure.  The record stays OBSERVED
+                # and is re-offered every round until a slot opens.
+                deferred += 1
+                self._count("service.deferred")
+                if key not in self._shed_logged:
+                    self._shed_logged.add(key)
+                    self.journal.append(
+                        "service-defer", now, key=key, why="queue-full"
+                    )
+        self.shed += shed
+        self.deferred += deferred
+        return shed, deferred
+
+    def _stage_for(self, record: RepairRecord) -> Optional[Stage]:
+        """The queue this record belongs in right now, if any."""
+        if record.state in _SETTLED:
+            return None
+        if record.state in (
+            RepairState.OBSERVED, RepairState.ROLLED_BACK
+        ) and record.outage.end is not None:
+            return None  # the outage healed; nothing left to repair
+        return self._STAGE_FOR_STATE.get(record.state)
+
+    def _budget(self, stage: Stage, tier: ServiceTier) -> int:
+        """Per-round work budget; only the forward stage degrades.
+
+        Overload comes from *new* work, so the isolate budget scales
+        with the tier down to zero at PAUSED, while the safety stages
+        (verify / retry / check) keep their full budgets: in-flight
+        poisons are announced state in other networks and must keep
+        being verified, checked and — if harmful — rolled back.
+        """
+        if stage is Stage.ISOLATE:
+            return int(
+                self.config.isolate_budget * self.admission.budget_scale()
+            )
+        if stage is Stage.VERIFY:
+            return self.config.verify_budget
+        if stage is Stage.RETRY:
+            return self.config.retry_budget
+        return self.config.check_budget
+
+    _STAGE_ORDER = (Stage.VERIFY, Stage.RETRY, Stage.CHECK, Stage.ISOLATE)
+
+    def _process_stages(self, now: float, tier: ServiceTier) -> int:
+        processed = 0
+        for stage in self._STAGE_ORDER:
+            processed += self._drain_stage(stage, now, tier)
+        return processed
+
+    def _drain_stage(
+        self, stage: Stage, now: float, tier: ServiceTier
+    ) -> int:
+        queue = self.queues[stage]
+        budget = self._budget(stage, tier)
+        fns = {
+            Stage.ISOLATE: self.lifeguard.stage_isolate,
+            Stage.VERIFY: self.lifeguard.stage_verify,
+            Stage.RETRY: self.lifeguard.stage_retry,
+            Stage.CHECK: self.lifeguard.stage_check,
+        }
+        processed = 0
+        # Mis-staged items (their record moved on while queued) are
+        # re-routed for free; only real stage work spends budget.
+        visits = len(queue)
+        while processed < budget and len(queue) and visits > 0:
+            visits -= 1
+            item = queue.take(1)[0]
+            record = self.lifeguard._records_by_outage.get(item.key)
+            if record is None:
+                continue
+            current = self._stage_for(record)
+            if current is None:
+                continue  # settled while waiting; drop the item
+            if current is not stage:
+                self._route(stage, record, item, now)
+                continue
+            fns[stage](record, now)
+            processed += 1
+            self._route(stage, record, item, now)
+        return processed
+
+    def _route(self, stage: Stage, record, item, now: float) -> None:
+        """Put a just-handled item wherever its record now belongs."""
+        target = self._stage_for(record)
+        if target is None:
+            return
+        queue = self.queues[stage]
+        if target is stage:
+            queue.requeue(item, now)
+            return
+        if not self.queues[target].offer(item.key, now):
+            # Downstream stage is full: hold the item here — explicit
+            # backpressure between stages, never a drop.
+            self.backpressure += 1
+            self._count("service.backpressure")
+            queue.requeue(item, now)
+
+    def _harvest_ttr(self, now: float) -> None:
+        verify = self.lifeguard.config.verify_repairs
+        for record in self.lifeguard.records:
+            key = record.key
+            if key in self._ttr_done:
+                continue
+            done_at = (
+                record.verified_time if verify else record.poison_time
+            )
+            if done_at is None:
+                continue
+            self._ttr_done.add(key)
+            ttr = max(0.0, done_at - record.outage.detected)
+            self.ttr.append(ttr)
+            if self.obs is not None:
+                metrics = self._metrics()
+                if metrics is not None:
+                    metrics.histogram(
+                        "service.ttr_seconds", TTR_BUCKETS
+                    ).observe(ttr)
+
+    def _publish(
+        self,
+        now: float,
+        tier: ServiceTier,
+        shed: int,
+        deferred: int,
+        timeouts: int,
+        processed: int,
+    ) -> None:
+        depths = {
+            stage.value: len(queue)
+            for stage, queue in self.queues.items()
+        }
+        inflight = sum(
+            record.state
+            in (RepairState.VERIFYING, RepairState.POISONED)
+            for record in self.lifeguard.records
+        )
+        for stage, depth in depths.items():
+            self._gauge(f"service.queue_depth.{stage}", depth)
+        self._gauge("service.repairs_in_flight", inflight)
+        self._gauge("service.journal_lag", self.journal.lag)
+        self._gauge("service.monitored_pairs", self.monitored_pairs)
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = _percentile(self.ttr, q)
+            if value is not None:
+                self._gauge(f"service.ttr_{name}", value)
+        self._count("service.rounds")
+        self._emit(
+            "service.round",
+            now,
+            tier=tier.name,
+            inflight=inflight,
+            processed=processed,
+            shed=shed,
+            deferred=deferred,
+            timeouts=timeouts,
+            depths=depths,
+            arrivals=self.cursor,
+        )
+
+    # ------------------------------------------------------------------
+    # Crash / recover
+    # ------------------------------------------------------------------
+    def _crash(self, now: float):
+        """Kill the controller; return what survives it.
+
+        The journal is flushed and closed (the write-ahead contract:
+        anything journaled survives; with ``flush_every > 1`` the
+        unflushed tail is legitimately lost).  The network, the failure
+        set, and the rotated journal segments outlive the process.
+        """
+        self.crashes += 1
+        survivors = (
+            self.journal,
+            self.lifeguard.config,
+            self.lifeguard.dataplane.failures,
+        )
+        self.journal.close()
+        self.scenario.lifeguard = None
+        return survivors
+
+    def _recover(self, survivors, now: float) -> None:
+        """Rebuild controller + service state from the journal."""
+        old_journal, lg_config, failures = survivors
+        if old_journal.path is not None:
+            journal = RepairJournal.load(
+                old_journal.path,
+                resume=True,
+                flush_every=old_journal.flush_every,
+                max_bytes=old_journal.max_bytes,
+                max_entries=old_journal.max_entries,
+                retain_segments=old_journal.retain_segments,
+                pacer_window=old_journal.pacer_window,
+            )
+        else:
+            journal = old_journal
+        lifeguard = Lifeguard.recover(
+            journal,
+            engine=self.scenario.engine,
+            topo=self.scenario.topo,
+            origin_asn=self.scenario.origin_asn,
+            vantage_points=self.scenario.vantage_points,
+            targets=self.scenario.targets,
+            duration_history=generate_outage_trace(
+                seed=self.config.seed
+            ).durations,
+            config=lg_config,
+            now=now,
+            failures=failures,
+            reprime_atlas=False,
+        )
+        if self.obs is not None:
+            lifeguard.attach_observer(self.obs)
+        if self.injector is not None:
+            self.injector.attach(lifeguard)
+        lifeguard.prime_atlas(now)
+        self.scenario.lifeguard = lifeguard
+        self._restore_from_journal(journal, now)
+        self._emit(
+            "service.recovered",
+            now,
+            records=len(lifeguard.records),
+            cursor=self.cursor,
+            tier=self.admission.tier.name,
+        )
+
+    def _restore_from_journal(
+        self, journal: RepairJournal, now: float
+    ) -> None:
+        """Service-level state: plan, cursor, tier, queues, TTR."""
+        for entry in journal.entries:
+            if entry["event"] == "service-plan":
+                self.plan = [
+                    (target, asn) for target, asn in entry["targets"]
+                ]
+            elif entry["event"] == "service-tier":
+                self.admission.restore(ServiceTier(entry["tier"]))
+        self.cursor = journal.count_of("service-arrival")
+        for entry in journal.of_event("service-arrival"):
+            self._last_outage_end = max(
+                self._last_outage_end, entry["end"]
+            )
+        for queue in self.queues.values():
+            while len(queue):
+                queue.take(1)
+        for record in self.lifeguard.records:
+            stage = self._stage_for(record)
+            # OBSERVED records re-enter through admission control.
+            if stage is not None and stage is not Stage.ISOLATE:
+                self.queues[stage].offer(record.key, now)
+        self.ttr = []
+        self._ttr_done = set()
+        self._harvest_ttr(now)
+        self._probes_prev = self.lifeguard.prober.probes_sent
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def _active_work(self, now: float) -> bool:
+        if self.cursor < len(self.schedule):
+            return True
+        if now <= self._last_outage_end + 150.0:
+            return True  # failures still open / detection in flight
+        if any(len(queue) for queue in self.queues.values()):
+            return True
+        return any(
+            self._stage_for(record) is not None
+            for record in self.lifeguard.records
+        )
+
+    def run(self) -> ServiceReport:
+        """Drive the workload to completion; returns the report."""
+        if not self._started:
+            self.start()
+        interval = self.lifeguard.config.monitor_interval
+        end = self.config.duration
+        deadline = end + self.config.drain
+        now = interval
+        down_until: Optional[float] = None
+        survivors = None
+        while now <= end or (
+            now <= deadline
+            and (down_until is not None or self._active_work(now))
+        ):
+            if down_until is not None:
+                if now < down_until:
+                    # Nobody is watching: the network keeps evolving,
+                    # poisons stay announced, outages keep aging.
+                    self.scenario.engine.advance_to(now)
+                    now += interval
+                    continue
+                self._recover(survivors, now)
+                down_until = None
+                survivors = None
+            if (
+                self.config.crash_at is not None
+                and now >= self.config.crash_at
+                and not self._crashed
+            ):
+                self._crashed = True
+                survivors = self._crash(now)
+                down_until = now + self.config.crash_downtime
+                continue
+            self.run_round(now)
+            now += interval
+        if down_until is not None:
+            self._recover(survivors, max(now, down_until))
+        self._drained = not self._active_work(now)
+        return self.report(min(now, deadline))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _abandoned(self) -> int:
+        """Repairs with no disposition: not settled, not queued, and not
+        waiting on admission (OBSERVED records re-enter every round, and
+        shed/deferred ones are journaled).  Structurally this must be
+        zero — the queues requeue instead of dropping — and the CI smoke
+        job asserts it stays that way."""
+        abandoned = 0
+        for record in self.lifeguard.records:
+            stage = self._stage_for(record)
+            if stage is None or stage is Stage.ISOLATE:
+                continue
+            if record.key not in self.queues[stage]:
+                abandoned += 1
+        return abandoned
+
+    def report(self, now: float) -> ServiceReport:
+        records = self.lifeguard.records
+        repaired = sum(r.poisoned_asn is not None for r in records)
+        completed = sum(
+            r.state is RepairState.UNPOISONED for r in records
+        )
+        settled = sum(self._stage_for(r) is None for r in records)
+        return ServiceReport(
+            duration=now,
+            rounds=self.rounds,
+            monitored_pairs=self.monitored_pairs,
+            arrivals=self.cursor,
+            records=len(records),
+            repaired=repaired,
+            completed=completed,
+            settled=settled,
+            pending=len(records) - settled,
+            abandoned=self._abandoned(),
+            shed=self.shed,
+            deferred=self.deferred,
+            timeouts=sum(q.timeouts for q in self.queues.values()),
+            backpressure=self.backpressure,
+            crashes=self.crashes,
+            tier_transitions=self.admission.transitions,
+            final_tier=self.admission.tier.name,
+            ttr_p50=_percentile(self.ttr, 0.50),
+            ttr_p95=_percentile(self.ttr, 0.95),
+            ttr_p99=_percentile(self.ttr, 0.99),
+            queue_peaks={
+                stage.value: queue.peak
+                for stage, queue in self.queues.items()
+            },
+            journal_entries=len(self.journal),
+            journal_rotations=self.journal.rotations,
+            drained=self._drained,
+            digest=self.obs.digest() if self.obs is not None else None,
+        )

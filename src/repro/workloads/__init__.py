@@ -9,8 +9,11 @@ shared by the tests, examples and benchmarks.
 """
 
 from repro.workloads.outages import (
+    OutageArrivalConfig,
     OutageTrace,
     OutageTraceConfig,
+    ScheduledOutage,
+    generate_outage_schedule,
     generate_outage_trace,
 )
 from repro.workloads.hubble import HubbleDataset, generate_hubble_dataset
@@ -22,8 +25,11 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "OutageArrivalConfig",
     "OutageTrace",
     "OutageTraceConfig",
+    "ScheduledOutage",
+    "generate_outage_schedule",
     "generate_outage_trace",
     "HubbleDataset",
     "generate_hubble_dataset",

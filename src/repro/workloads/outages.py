@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ReproError
 
@@ -131,3 +131,85 @@ def generate_outage_trace(
         for _ in range(config.num_outages)
     ]
     return OutageTrace(durations=durations, partial=partial, config=config)
+
+
+# ----------------------------------------------------------------------
+# Streaming arrival process (service + robustness workloads)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduledOutage:
+    """One ground-truth failure the workload will inject."""
+
+    index: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class OutageArrivalConfig:
+    """How ground-truth outages arrive over a run.
+
+    Exactly one of *spacing* (deterministic fixed-interval arrivals, the
+    robustness study's schedule) or *rate* (a Poisson process, the
+    service's streaming workload) must be set.  Durations come from
+    *duration* when fixed, otherwise they are sampled from the paper's
+    Fig. 1 mixture (:class:`OutageTraceConfig`) — the calibration the
+    EC2 study measured, so a long service run sees the same bulk-vs-tail
+    shape the deployment did.
+    """
+
+    first_arrival: float = 1000.0
+    #: fixed seconds between arrivals (deterministic mode).
+    spacing: Optional[float] = None
+    #: mean arrivals per second (Poisson mode); inter-arrival gaps are
+    #: quantized to *round_seconds* so arrivals align with monitor rounds.
+    rate: Optional[float] = None
+    #: fixed outage duration; None samples the Fig. 1 mixture per outage.
+    duration: Optional[float] = None
+    trace: OutageTraceConfig = field(default_factory=OutageTraceConfig)
+    round_seconds: float = 30.0
+
+
+def generate_outage_schedule(
+    num_outages: int,
+    config: Optional[OutageArrivalConfig] = None,
+    seed: int = 0,
+) -> List[ScheduledOutage]:
+    """The arrival schedule both the service daemon and the robustness
+    study inject: *num_outages* ground-truth failures with calibrated
+    start times and durations.
+
+    Deterministic for a given (config, seed); the fixed-spacing +
+    fixed-duration configuration draws no randomness at all, so it is
+    byte-identical to the hardcoded schedule it replaced.
+    """
+    config = config or OutageArrivalConfig()
+    if (config.spacing is None) == (config.rate is None):
+        raise ReproError(
+            "set exactly one of OutageArrivalConfig.spacing (fixed) or "
+            ".rate (Poisson)"
+        )
+    rng = random.Random(seed)
+    schedule: List[ScheduledOutage] = []
+    start = config.first_arrival
+    for index in range(num_outages):
+        if index:
+            if config.spacing is not None:
+                gap = config.spacing
+            else:
+                gap = rng.expovariate(config.rate)
+                rounds = max(1, round(gap / config.round_seconds))
+                gap = rounds * config.round_seconds
+            start += gap
+        if config.duration is not None:
+            duration = config.duration
+        else:
+            duration = _sample_duration(rng, config.trace)
+        schedule.append(
+            ScheduledOutage(index=index, start=start, duration=duration)
+        )
+    return schedule

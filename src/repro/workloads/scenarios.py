@@ -72,6 +72,7 @@ def build_deployment(
     cache=None,
     stats=None,
     obs=None,
+    journal=None,
 ) -> DeploymentScenario:
     """Build the standard scenario.
 
@@ -88,7 +89,10 @@ def build_deployment(
     *obs* is an optional :class:`~repro.obs.events.EventBus`, attached
     via :meth:`~repro.control.lifeguard.Lifeguard.attach_observer`
     before the baseline announcement so the event log covers the
-    deployment's whole observable life.
+    deployment's whole observable life.  *journal* is an optional
+    :class:`~repro.control.journal.RepairJournal` (e.g. file-backed for
+    the service daemon), installed before the baseline announcement so
+    the write-ahead log is complete from the first entry.
     """
     # Deferred: runner.baseline reaches back into this module.
     from repro.runner.baseline import ORIGIN_ASN_EVEN, converged_internet
@@ -133,6 +137,31 @@ def build_deployment(
             targets.append(topo.router(rid).address)
         if len(targets) >= num_targets:
             break
+    if len(targets) < num_targets:
+        # Service-scale deployments monitor more prefixes than there are
+        # transit ASes; widen deterministically to the remaining transit
+        # routers, then to stub routers (still skipping the origin's
+        # providers and the VP hosts).
+        vp_hosts = set(vp_asns)
+        pool = [
+            rid
+            for asn in transit
+            for rid in topo.routers_of(asn)[1:]
+        ]
+        pool += [
+            rid
+            for asn in stubs
+            if asn not in vp_hosts
+            for rid in topo.routers_of(asn)
+        ]
+        seen = set(targets)
+        for rid in pool:
+            if len(targets) >= num_targets:
+                break
+            router = topo.router(rid)
+            if router.responds_to_ping and router.address not in seen:
+                targets.append(router.address)
+                seen.add(router.address)
 
     history = generate_outage_trace(seed=seed).durations
     lifeguard = Lifeguard(
@@ -143,6 +172,7 @@ def build_deployment(
         targets=targets,
         duration_history=history,
         config=lifeguard_config,
+        journal=journal,
     )
     if obs is not None:
         lifeguard.attach_observer(obs)

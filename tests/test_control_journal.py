@@ -101,3 +101,157 @@ class TestPersistedJournal:
             + "\n\n"
         )
         assert len(RepairJournal.load(str(path))) == 1
+
+
+class TestBufferedFlushing:
+    def test_flush_every_batches_and_exposes_lag(self, tmp_path):
+        path = str(tmp_path / "buffered.jsonl")
+        journal = RepairJournal(path, flush_every=3)
+        journal.append("observed", 1.0, key=KEY)
+        journal.append("observed", 2.0, key=KEY)
+        assert journal.lag == 2
+        assert journal.flushes == 0
+        journal.append("observed", 3.0, key=KEY)
+        assert journal.lag == 0
+        assert journal.flushes == 1
+        journal.append("observed", 4.0, key=KEY)
+        journal.close()
+        assert journal.lag == 0
+        assert len(RepairJournal.load(path)) == 4
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ControlError, match="flush_every"):
+            RepairJournal(flush_every=0)
+
+
+def _finish(journal, key, t, state="unpoisoned"):
+    """Journal a minimal terminal lifecycle for *key*."""
+    journal.append("observed", t, key=key)
+    journal.append("state", t + 10.0, key=key, state=state)
+
+
+class TestRotationAndCompaction:
+    def test_rotation_drops_terminal_keeps_live(self, tmp_path):
+        path = str(tmp_path / "rot.jsonl")
+        journal = RepairJournal(path, max_entries=4)
+        live = outage_key("origin", "0.9.0.1", 500.0)
+        _finish(journal, KEY, 100.0)  # terminal: compacted away
+        journal.append("observed", 500.0, key=live)
+        journal.append("isolated", 600.0, key=live, blamed_asn=7)
+        # 5th entry crosses max_entries and triggers the rotation.
+        journal.append("poison", 700.0, key=live, asn=7)
+        journal.close()
+
+        assert journal.rotations == 1
+        assert journal.compacted_away == 2
+        assert [e["event"] for e in journal.for_outage(live)] == [
+            "observed", "isolated", "poison",
+        ]
+        assert journal.for_outage(KEY) == []
+        (marker,) = journal.of_event("compacted")
+        assert marker["dropped"] == 2
+        assert marker["event_counts"] == {"observed": 1, "state": 1}
+        # Whole-life counts still see the dropped entries.
+        assert journal.count_of("observed") == 2
+        assert journal.count_of("state") == 1
+
+    def test_terminal_rollback_becomes_breaker_entry(self, tmp_path):
+        path = str(tmp_path / "breaker.jsonl")
+        journal = RepairJournal(path, max_entries=4)
+        journal.append("observed", 100.0, key=KEY)
+        journal.append(
+            "rollback", 200.0, key=KEY, asn=9, failures=2
+        )
+        journal.append("state", 300.0, key=KEY, state="not-poisoned")
+        journal.append("observed", 400.0, key=KEY)  # stale extra entry
+        journal.append("note", 500.0, text="tick")
+        journal.close()
+
+        (synth,) = journal.of_event("breaker")
+        assert synth["vp"] == KEY[0]
+        assert synth["dst"] == KEY[1]
+        assert synth["asn"] == 9
+        assert synth["failures"] == 2
+        assert synth["last_failure"] == 200.0
+
+    def test_terminal_announcements_become_pacer_entry(self, tmp_path):
+        path = str(tmp_path / "pacer.jsonl")
+        journal = RepairJournal(
+            path, max_entries=4, pacer_window=2000.0
+        )
+        journal.append("announced", 100.0, prefix="0.0.1.0/24")
+        _finish(journal, KEY, 3000.0)
+        journal.append("announced", 3500.0, prefix="0.0.1.0/24")
+        # The 5th entry rotates at t=4000: the window floor is 2000, so
+        # the announcement at 100.0 can never count again and is pruned.
+        journal.append("note", 4000.0, text="tick")
+        journal.close()
+
+        (synth,) = journal.of_event("pacer")
+        assert synth["times"] == [3500.0]
+        assert journal.of_event("announced") == []
+
+    def test_load_replays_across_rotated_segments(self, tmp_path):
+        path = str(tmp_path / "segments.jsonl")
+        journal = RepairJournal(path, max_entries=4)
+        live = outage_key("origin", "0.9.0.1", 500.0)
+        for index in range(3):
+            _finish(
+                journal,
+                outage_key("origin", "0.6.0.1", float(index)),
+                100.0 * index,
+            )
+        journal.append("observed", 900.0, key=live)
+        journal.close()
+        assert journal.rotations >= 1
+
+        loaded = RepairJournal.load(path)
+        assert loaded.entries == journal.entries
+        assert loaded.count_of("observed") == 4
+
+    def test_load_resume_reopens_for_append(self, tmp_path):
+        path = str(tmp_path / "resume.jsonl")
+        journal = RepairJournal(path)
+        journal.append("observed", 100.0, key=KEY)
+        journal.close()
+
+        resumed = RepairJournal.load(path, resume=True)
+        resumed.append("poison", 200.0, key=KEY, asn=7)
+        resumed.close()
+        assert [e["event"] for e in RepairJournal.load(path)] == [
+            "observed", "poison",
+        ]
+
+    def test_live_state_beyond_limit_does_not_churn(self, tmp_path):
+        """Once live state alone exceeds max_entries, rotation must back
+        off (geometric growth), not rewrite the file on every append."""
+        path = str(tmp_path / "churn.jsonl")
+        journal = RepairJournal(path, max_entries=4)
+        live = outage_key("origin", "0.9.0.1", 500.0)
+        for index in range(20):
+            journal.append("observed", float(index), key=live)
+        journal.close()
+        assert journal.rotations <= 3
+
+    def test_superseded_segments_are_pruned(self, tmp_path):
+        path = str(tmp_path / "prune.jsonl")
+        journal = RepairJournal(
+            path, max_entries=2, retain_segments=2
+        )
+        for index in range(12):
+            _finish(
+                journal,
+                outage_key("origin", "0.6.0.1", float(index)),
+                100.0 * index,
+            )
+        journal.close()
+        assert journal.rotations > 2
+        import os as _os
+
+        segments = sorted(
+            name
+            for name in _os.listdir(str(tmp_path))
+            if name.startswith("prune.jsonl.")
+        )
+        assert len(segments) == 2
+        assert segments[-1].endswith(str(journal.rotations))

@@ -1,0 +1,229 @@
+"""The continuous-operation service daemon.
+
+Unit tests cover the bounded stage queues (backpressure, deadline
+boosts) and the admission controller's degradation ladder; the property
+tests at the bottom are the acceptance check for the service PR,
+extending ``tests/test_lifeguard_recovery.py``: a service run with the
+same seed is byte-identical (event-bus SHA-256 digest) across two
+executions, and across a mid-run crash + recover — including one that
+crosses rotated journal segments — with zero abandoned repairs.  Seeds
+come from ``REPRO_CHAOS_SEEDS`` so CI can sweep a matrix.
+"""
+
+import os
+
+import pytest
+
+from repro.control.journal import RepairJournal
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    AdmissionController,
+    LifeguardService,
+    OverloadSignals,
+    ServiceConfig,
+    ServiceTier,
+    Stage,
+    StageQueue,
+    Watermarks,
+)
+from repro.workloads.outages import OutageArrivalConfig
+from repro.workloads.scenarios import build_deployment
+
+SEEDS = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_CHAOS_SEEDS", "3,5,7").split(",")
+)
+
+
+class TestStageQueue:
+    def _queue(self, capacity=3, deadline=100.0):
+        return StageQueue(Stage.ISOLATE, capacity, deadline)
+
+    def test_fifo_take_respects_budget(self):
+        queue = self._queue()
+        for name in ("a", "b", "c"):
+            assert queue.offer((name, "d", 0.0), now=10.0)
+        taken = queue.take(2)
+        assert [item.key[0] for item in taken] == ["a", "b"]
+        assert len(queue) == 1
+
+    def test_full_queue_refuses_and_counts(self):
+        queue = self._queue(capacity=1)
+        assert queue.offer(("a", "d", 0.0), now=0.0)
+        assert not queue.offer(("b", "d", 0.0), now=0.0)
+        assert queue.refusals == 1
+        # An already-queued key is accepted in place, not a refusal.
+        assert queue.offer(("a", "d", 0.0), now=5.0)
+        assert queue.refusals == 1
+        assert len(queue) == 1
+
+    def test_requeue_goes_to_tail_with_attempt(self):
+        queue = self._queue()
+        queue.offer(("a", "d", 0.0), now=0.0)
+        queue.offer(("b", "d", 0.0), now=0.0)
+        (item,) = queue.take(1)
+        queue.requeue(item, now=50.0)
+        assert item.attempts == 1
+        assert item.deadline == 150.0
+        assert [k[0] for k in queue.keys()] == ["b", "a"]
+
+    def test_expire_boosts_breached_items_to_front(self):
+        queue = self._queue(deadline=100.0)
+        queue.offer(("old", "d", 0.0), now=0.0)
+        queue.offer(("new", "d", 0.0), now=90.0)
+        breached = queue.expire(now=150.0)
+        assert [item.key[0] for item in breached] == ["old"]
+        assert queue.timeouts == 1
+        # Boosted to the head with a fresh deadline and an attempt.
+        assert [k[0] for k in queue.keys()] == ["old", "new"]
+        assert breached[0].deadline == 250.0
+        assert breached[0].attempts == 1
+
+    def test_occupancy_and_peak(self):
+        queue = self._queue(capacity=4)
+        queue.offer(("a", "d", 0.0), now=0.0)
+        queue.offer(("b", "d", 0.0), now=0.0)
+        assert queue.occupancy == 0.5
+        queue.take(2)
+        assert queue.peak == 2
+
+
+def _signals(inflight=0, probes=0.0, lag=0, occupancy=0.0):
+    return OverloadSignals(
+        inflight=inflight,
+        probe_utilisation=probes,
+        journal_lag=lag,
+        queue_occupancy=occupancy,
+    )
+
+
+class TestAdmissionController:
+    def _controller(self):
+        return AdmissionController(
+            Watermarks(max_inflight=8, max_journal_lag=16)
+        )
+
+    def test_escalates_one_tier_per_breach(self):
+        controller = self._controller()
+        assert controller.evaluate(_signals(inflight=9)) is (
+            ServiceTier.THROTTLED
+        )
+        assert controller.evaluate(
+            _signals(inflight=9, lag=17)
+        ) is ServiceTier.PAUSED
+        # Capped at PAUSED no matter how many breaches.
+        assert controller.evaluate(
+            _signals(inflight=9, lag=17, occupancy=1.0, probes=2.0)
+        ) is ServiceTier.PAUSED
+        assert controller.transitions == 2
+
+    def test_recovers_one_tier_per_calm_round(self):
+        controller = self._controller()
+        controller.evaluate(_signals(inflight=9, lag=17, occupancy=1.0))
+        assert controller.tier is ServiceTier.PAUSED
+        # Not calm (inflight above the low watermark): tier holds.
+        assert controller.evaluate(_signals(inflight=5)) is (
+            ServiceTier.PAUSED
+        )
+        for expected in (
+            ServiceTier.SHED,
+            ServiceTier.THROTTLED,
+            ServiceTier.NORMAL,
+            ServiceTier.NORMAL,
+        ):
+            assert controller.evaluate(_signals()) is expected
+
+    def test_budget_scale_and_admitting_per_tier(self):
+        controller = self._controller()
+        expected = {
+            ServiceTier.NORMAL: (1.0, True),
+            ServiceTier.THROTTLED: (0.5, True),
+            ServiceTier.SHED: (0.25, False),
+            ServiceTier.PAUSED: (0.0, False),
+        }
+        for tier, (scale, admitting) in expected.items():
+            controller.restore(tier)
+            assert controller.budget_scale() == scale
+            assert controller.admitting is admitting
+
+
+def _run_service(seed, journal_path=None, crash_at=None, max_bytes=None):
+    """One tiny-scale service run; returns (report, fingerprints)."""
+    obs = EventBus(metrics=MetricsRegistry())
+    journal = None
+    if journal_path is not None:
+        journal = RepairJournal(journal_path, max_bytes=max_bytes)
+    scenario = build_deployment(
+        scale="tiny", seed=seed, obs=obs, journal=journal
+    )
+    config = ServiceConfig(
+        duration=3600.0,
+        arrivals=OutageArrivalConfig(
+            first_arrival=1000.0, spacing=900.0, duration=3600.0
+        ),
+        seed=seed,
+        drain=7200.0,
+        crash_at=crash_at,
+    )
+    service = LifeguardService(scenario, config, obs=obs)
+    report = service.run()
+    fingerprints = [
+        r.fingerprint() for r in scenario.lifeguard.records
+    ]
+    if journal is not None:
+        journal.close()
+    return report, fingerprints
+
+
+class TestServiceDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_runs_are_byte_identical(self, seed):
+        first, prints_a = _run_service(seed)
+        second, prints_b = _run_service(seed)
+        assert first.digest == second.digest
+        assert prints_a == prints_b
+        assert first.repaired >= 1, "property is vacuous without repairs"
+        assert first.abandoned == 0
+        assert first.drained
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_crash_recover_is_byte_identical(self, seed, tmp_path):
+        first, prints_a = _run_service(
+            seed,
+            journal_path=str(tmp_path / "a.jsonl"),
+            crash_at=2500.0,
+        )
+        second, prints_b = _run_service(
+            seed,
+            journal_path=str(tmp_path / "b.jsonl"),
+            crash_at=2500.0,
+        )
+        assert first.crashes == 1
+        assert first.digest == second.digest
+        assert prints_a == prints_b
+        # The crash cost downtime, never a repair: everything journaled
+        # before the crash was retried or finished after recovery.
+        assert first.abandoned == 0
+        assert first.repaired >= 1
+        assert first.drained
+
+    def test_crash_recover_across_rotated_segments(self, tmp_path):
+        seed = SEEDS[0]
+        first, prints_a = _run_service(
+            seed,
+            journal_path=str(tmp_path / "a.jsonl"),
+            crash_at=2500.0,
+            max_bytes=8192,
+        )
+        second, prints_b = _run_service(
+            seed,
+            journal_path=str(tmp_path / "b.jsonl"),
+            crash_at=2500.0,
+            max_bytes=8192,
+        )
+        assert first.journal_rotations >= 1
+        assert first.digest == second.digest
+        assert prints_a == prints_b
+        assert first.abandoned == 0
+        assert first.drained
