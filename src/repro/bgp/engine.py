@@ -92,6 +92,14 @@ class BGPEngine:
         self._seq = itertools.count()
         self.speakers: Dict[int, BGPSpeaker] = {}
         self._sessions: Dict[Tuple[int, int], _Session] = {}
+        #: per directed session, the latest delivery time scheduled so
+        #: far; arrivals are clamped to it so updates on one session are
+        #: delivered in send order (BGP runs over TCP — a later
+        #: withdrawal must never overtake an earlier announcement).
+        #: Differential fuzzing found the reordering artifact: stale
+        #: Adj-RIB-In entries left by crossed messages get re-selected
+        #: into the Loc-RIB when a perturbation withdraws the best route.
+        self._arrival_floor: Dict[Tuple[int, int], float] = {}
         self.change_log: List[RouteChange] = []
         #: total updates (announcements + withdrawals) sent per directed
         #: session; Table 2's per-router load estimates read this.
@@ -168,6 +176,7 @@ class BGPEngine:
         per_neighbor: Optional[Dict[int, Optional[ASPath]]] = None,
         communities=(),
         avoid=(),
+        med: int = 0,
     ) -> None:
         """(Re-)announce *prefix* from *asn* with the given path config.
 
@@ -179,7 +188,7 @@ class BGPEngine:
         speaker = self.speakers[asn]
         old_best = speaker.best(prefix)
         speaker.originate(
-            prefix, path=path, per_neighbor=per_neighbor,
+            prefix, path=path, per_neighbor=per_neighbor, med=med,
             communities=communities, avoid=avoid,
         )
         new_best = speaker.best(prefix)
@@ -472,8 +481,15 @@ class BGPEngine:
                 deliveries = 0
             elif action == "duplicate":
                 deliveries = 2
+        floor = self._arrival_floor
         for _ in range(deliveries):
             arrival = self.now + self._proc_delay() + self._link_delay()
+            prior = floor.get((src, dst))
+            if prior is not None and arrival < prior:
+                # FIFO per session: equal timestamps keep heap sequence
+                # order, which is send order.
+                arrival = prior
+            floor[(src, dst)] = arrival
             self._push(arrival, ("deliver", src, dst, update))
 
     # ------------------------------------------------------------------

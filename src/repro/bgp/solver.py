@@ -157,12 +157,48 @@ def solver_unsupported_reason(
             return f"AS{asn}: flap_damping"
         if Relationship.SIBLING in speaker.neighbors.values():
             return f"AS{asn}: sibling link"
+    seen_prefixes = set()
     for org in originations:
         if org.asn not in engine.speakers:
             return f"origination from unknown AS{org.asn}"
+        if org.prefix in seen_prefixes:
+            # Found by differential fuzzing: the solver solves each
+            # origination independently and warm_start merges the
+            # solutions (table.load pins blindly), while the event
+            # engine computes true anycast routing — so any duplicate
+            # prefix (MOAS, or repeated same-AS configs where the
+            # engine's last-write-wins) must take the event path.
+            return (
+                f"multiple originations of {org.prefix} "
+                "(anycast/MOAS needs the event engine)"
+            )
+        seen_prefixes.add(org.prefix)
     if engine.change_log or engine.updates_sent or engine._queue:
         return "engine has prior activity (warm_start needs a fresh one)"
     return None
+
+
+#: substring -> slug mapping for gate reasons (metrics/budget keys).
+_GATE_REASON_SLUGS = (
+    ("loop_max_occurrences", "loop_max_occurrences"),
+    ("reject_peer_paths_from_customers",
+     "reject_peer_paths_from_customers"),
+    ("honours_communities", "honours_communities"),
+    ("local_pref_overrides", "local_pref_overrides"),
+    ("flap_damping", "flap_damping"),
+    ("sibling link", "sibling_link"),
+    ("multiple originations", "duplicate_prefix"),
+    ("unknown AS", "unknown_origin"),
+    ("prior activity", "prior_activity"),
+)
+
+
+def gate_reason_slug(reason: str) -> str:
+    """A stable metrics-key slug for a gate-rejection reason string."""
+    for marker, slug in _GATE_REASON_SLUGS:
+        if marker in reason:
+            return slug
+    return "other"
 
 
 def solve(

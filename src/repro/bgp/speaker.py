@@ -212,7 +212,14 @@ class BGPSpeaker:
         selection changed, so the engine can log and propagate.
         """
         changed: List[Tuple[Prefix, Optional[Route], Optional[Route]]] = []
-        for prefix in list(self.table.prefixes()):
+        # Canonical prefix order, not table insertion order: a warm-started
+        # table (solver load order) and an event-converged one (learning
+        # order) hold the same routes in different dict order, and the
+        # caller propagates each change as it is returned — iteration
+        # order here decides the transmit order of the withdrawal burst.
+        for prefix in sorted(
+            self.table.prefixes(), key=lambda p: (p.base, p.length)
+        ):
             if self.table.route_from(prefix, neighbor) is None:
                 continue
             old_best = self.table.best(prefix)

@@ -451,6 +451,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_campaign
+    from repro.runner.stats import RunStats
+
+    stats = RunStats()
+    report = run_campaign(
+        seed=args.seed,
+        cases=args.cases,
+        scale=args.scale,
+        workers=args.workers,
+        shrink=args.shrink,
+        shrink_budget=args.shrink_budget,
+        corpus_dir=args.corpus_dir,
+        inject_divergence=args.inject_divergence,
+        stats=stats,
+    )
+    _write_metrics(args, stats)
+    table = Table(
+        f"Differential fuzz: solver vs event engine "
+        f"({report.scale}, seed {report.seed})",
+        ["metric", "value"],
+    )
+    table.add_row("cases", report.cases)
+    table.add_row("equal", report.equal)
+    table.add_row("divergences", report.divergences)
+    table.add_row("crashes", report.crashes)
+    table.add_row("gate rejected", report.gate_rejected)
+    for slug, count in sorted(report.gate_reasons.items()):
+        table.add_row(f"  gate: {slug}", count)
+    if report.failures:
+        table.add_note(
+            f"{len(report.failures)} failing case(s) "
+            + ("shrunk and " if args.shrink else "")
+            + (
+                f"written to {args.corpus_dir}"
+                if args.corpus_dir
+                else "kept in memory (no --corpus-dir)"
+            )
+        )
+    table.add_note(
+        "gate rows are the conservative-rejection budget: configs the "
+        "solver refuses and the event engine handles alone"
+    )
+    table.emit()
+    for failure in report.failures:
+        print(
+            f"FAIL case {failure.index}: {failure.verdict}"
+            + (f" ({failure.reason})" if failure.reason else ""),
+            file=sys.stderr,
+        )
+        print(
+            f"  shrunk to {failure.shrunk.summary()} "
+            f"in {failure.shrink_runs} runs"
+            + (
+                f" -> {failure.corpus_path}"
+                if failure.corpus_path
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        for row in failure.diff_sample:
+            print(f"  diff {row}", file=sys.stderr)
+    if not report.ok:
+        print(
+            f"fuzz: {report.divergences} divergence(s), "
+            f"{report.crashes} crash(es) across {report.cases} cases",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lifeguard-repro",
@@ -627,6 +699,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(p)
     p.set_defaults(func=_cmd_bench)
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the analytic solver against the "
+             "event engine; nonzero exit on any divergence or crash",
+    )
+    p.add_argument(
+        "--cases", type=int,
+        default=_env_int("REPRO_FUZZ_CASES", 500),
+        help="number of generated cases "
+             "(default $REPRO_FUZZ_CASES, else 500)",
+    )
+    p.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_FUZZ_SCALE") or "small",
+        help="case size distribution: tiny, small or medium "
+             "(default $REPRO_FUZZ_SCALE, else small)",
+    )
+    p.add_argument(
+        "--workers", type=int,
+        default=_env_int("REPRO_FUZZ_WORKERS", 1),
+        help="trial-pool processes (default $REPRO_FUZZ_WORKERS, else 1)",
+    )
+    p.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="minimize failing cases before reporting them",
+    )
+    p.add_argument(
+        "--shrink-budget", type=int, default=2000,
+        help="max differential runs the shrinker may spend per failure",
+    )
+    p.add_argument(
+        "--corpus-dir",
+        default=os.environ.get("REPRO_FUZZ_CORPUS_DIR") or None,
+        help="write shrunk failing cases as replayable JSON here "
+             "(default $REPRO_FUZZ_CORPUS_DIR, unset = don't persist)",
+    )
+    p.add_argument(
+        "--inject-divergence", action="store_true",
+        default=bool(os.environ.get("REPRO_FUZZ_INJECT_DIVERGENCE")),
+        help="deliberately corrupt the solver side of every case "
+             "(end-to-end self-test of the detect/shrink/persist path; "
+             "default $REPRO_FUZZ_INJECT_DIVERGENCE)",
+    )
+    _add_metrics_out(p)
+    p.set_defaults(func=_cmd_fuzz)
     return parser
 
 

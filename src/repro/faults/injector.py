@@ -129,6 +129,17 @@ class FaultInjector:
         lifeguard.engine.fault_hook = self.bgp_message_action
         return self
 
+    def attach_engine(self, engine) -> "FaultInjector":
+        """Wire only the BGP message hook into a bare *engine*.
+
+        Differential fuzzing uses this to apply one message-fault plan
+        to two engines through identically-seeded injectors, without a
+        full deployment around them.
+        """
+        self._engine = engine
+        engine.fault_hook = self.bgp_message_action
+        return self
+
     def _draw(self, rate: float) -> bool:
         """One biased coin; never touches the RNG when the rate is zero."""
         if rate <= 0.0:

@@ -1,0 +1,92 @@
+"""State capture and byte-for-byte comparison of two engines.
+
+Scope (and what is deliberately excluded) follows the solver's
+equivalence contract:
+
+* ``locrib/AS<n>/<prefix>`` — the selected route (path, neighbor,
+  local-pref, MED) at every AS, including origin self-routes;
+* ``fwd/<prefix>/AS<n>`` — the AS-level forwarding next hop;
+* ``wire/AS<a>->AS<b>/<prefix>`` — the last announcement standing on
+  each directed session (withdrawn/never-sent ``None`` entries are
+  dropped: the event engine leaves ``None`` tombstones where the solver
+  records nothing, and both mean "nothing advertised").
+
+Adj-RIB-In is *not* compared: message crossing on sessions without
+per-session FIFO ordering leaves documented stale entries in the event
+engine (see the solver module docstring) that never affect decisions.
+
+Comparison is on the canonical JSON blob of the whole capture, so
+"equal" means byte-for-byte equal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.addr import Prefix
+
+#: capture key -> JSON-encodable value.
+StateMap = Dict[str, object]
+
+
+def capture_state(engine, prefixes: Sequence[Prefix]) -> StateMap:
+    """Flatten one engine's observable routing state for *prefixes*."""
+    state: StateMap = {}
+    for asn in sorted(engine.speakers):
+        speaker = engine.speakers[asn]
+        for prefix in prefixes:
+            best = speaker.best(prefix)
+            if best is not None:
+                state[f"locrib/AS{asn}/{prefix}"] = [
+                    list(best.as_path),
+                    best.neighbor,
+                    best.local_pref,
+                    best.med,
+                ]
+    for prefix in prefixes:
+        for asn, next_hop in sorted(
+            engine.forwarding_next_hops(prefix).items()
+        ):
+            state[f"fwd/{prefix}/AS{asn}"] = next_hop
+    for (src, dst), session in sorted(engine._sessions.items()):
+        for prefix, announcement in session.sent.items():
+            if announcement is not None:
+                state[f"wire/AS{src}->AS{dst}/{prefix}"] = [
+                    list(announcement.as_path),
+                    announcement.med,
+                ]
+    return state
+
+
+def canonical_blob(state: StateMap) -> str:
+    """The byte-for-byte comparison form of a capture."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def diff_states(
+    solver_state: StateMap,
+    event_state: StateMap,
+    limit: int = 8,
+) -> List[Tuple[str, Optional[str], Optional[str]]]:
+    """First *limit* differing keys as (key, solver value, event value).
+
+    Values are their canonical JSON encodings (None: key absent on that
+    side) so diff samples survive the trip through corpus JSON.
+    """
+    out: List[Tuple[str, Optional[str], Optional[str]]] = []
+    for key in sorted(set(solver_state) | set(event_state)):
+        a = solver_state.get(key)
+        b = event_state.get(key)
+        if a == b:
+            continue
+        out.append(
+            (
+                key,
+                None if key not in solver_state else json.dumps(a),
+                None if key not in event_state else json.dumps(b),
+            )
+        )
+        if len(out) >= limit:
+            break
+    return out

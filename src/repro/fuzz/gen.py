@@ -1,0 +1,288 @@
+"""Seeded random case generation.
+
+Each case is a pure function of ``(master_seed, scale, index)`` via
+:func:`~repro.runner.core.derive_seed`, so any worker count (or a rerun
+months later) regenerates the identical case — the property that lets
+the campaign ship only indices to pool workers and lets a corpus entry
+name the campaign that found it.
+
+The distribution (documented in DESIGN.md) mixes two topology flavors —
+a realistic mini-Internet (tier-1 clique, transit tier, stubs) and a
+uniform random connected graph with arbitrary relationship assignments
+(the adversarial flavor where provider cycles appear) — then layers on
+relationship flips, sibling links, policy deltas (most of which the
+solver gate must reject: that is the budget being measured),
+origination mutations (prepends, poison sandwiches, per-neighbor
+suppression, MEDs, occasional MOAS), a short perturbation script and
+stochastic message-fault rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.fuzz.case import ActionSpec, FuzzCase, OrigSpec
+from repro.runner.core import derive_seed
+from repro.topology.generate import prefix_for_asn
+
+_RELS = ("customer", "peer", "provider")
+
+
+@dataclass(frozen=True)
+class FuzzScale:
+    """Size/probability knobs for one named scale."""
+
+    name: str
+    min_ases: int
+    max_ases: int
+    #: extra (non-spanning-tree) links as a fraction of the AS count.
+    extra_links: float
+    #: probability the case uses the uniform-random topology flavor.
+    p_uniform: float = 0.4
+    p_rel_flip: float = 0.2
+    p_sibling: float = 0.05
+    p_policy: float = 0.25
+    p_moas: float = 0.05
+    p_med: float = 0.2
+    p_faults: float = 0.2
+    max_actions: int = 3
+
+
+FUZZ_SCALES: Dict[str, FuzzScale] = {
+    "tiny": FuzzScale("tiny", 3, 6, extra_links=0.5),
+    "small": FuzzScale("small", 4, 14, extra_links=0.6),
+    "medium": FuzzScale("medium", 10, 40, extra_links=0.7),
+}
+
+
+def generate_case(
+    master_seed: int, index: int, scale: str = "small"
+) -> FuzzCase:
+    """The ``index``-th case of a campaign (pure function of its seeds)."""
+    params = FUZZ_SCALES.get(scale)
+    if params is None:
+        raise SimulationError(
+            f"unknown fuzz scale {scale!r}; pick from "
+            f"{sorted(FUZZ_SCALES)}"
+        )
+    seed = derive_seed(master_seed, "fuzz-case", scale, index)
+    rng = random.Random(seed)
+    n = rng.randint(params.min_ases, params.max_ases)
+
+    if rng.random() < params.p_uniform:
+        ases, links = _uniform_topology(rng, n, params)
+    else:
+        ases, links = _tiered_topology(rng, n, params)
+
+    # Adversarial relationship mutations on otherwise-sane topologies.
+    if links and rng.random() < params.p_rel_flip:
+        i = rng.randrange(len(links))
+        a, b, _rel = links[i]
+        links[i] = (a, b, rng.choice(_RELS))
+    if links and rng.random() < params.p_sibling:
+        i = rng.randrange(len(links))
+        a, b, _rel = links[i]
+        links[i] = (a, b, "sibling")
+
+    neighbors = _neighbor_map(ases, links)
+    policies: Dict[int, dict] = {}
+    if rng.random() < params.p_policy:
+        count = rng.randint(1, min(2, len(ases)))
+        for asn, _tier in rng.sample(ases, count):
+            policies[asn] = _random_policy(rng, neighbors.get(asn, []))
+
+    asns = [asn for asn, _tier in ases]
+    originations = [
+        _random_origination(rng, asn, asns, neighbors.get(asn, []), params)
+        for asn in asns
+    ]
+    if len(asns) >= 2 and rng.random() < params.p_moas:
+        victim, hijacker = rng.sample(asns, 2)
+        originations.append(
+            OrigSpec(asn=hijacker, prefix=str(prefix_for_asn(victim)))
+        )
+
+    actions = [
+        _random_action(rng, asns, links, originations, params)
+        for _ in range(rng.randint(0, params.max_actions))
+    ]
+    actions = [act for act in actions if act is not None]
+
+    drop_rate = dup_rate = 0.0
+    if actions and rng.random() < params.p_faults:
+        drop_rate = round(rng.uniform(0.02, 0.3), 3)
+        if rng.random() < 0.5:
+            dup_rate = round(rng.uniform(0.02, 0.15), 3)
+
+    return FuzzCase(
+        seed=seed,
+        engine_seed=derive_seed(seed, "engine"),
+        ases=ases,
+        links=links,
+        policies=policies,
+        originations=originations,
+        actions=actions,
+        drop_rate=drop_rate,
+        dup_rate=dup_rate,
+    )
+
+
+# ----------------------------------------------------------------------
+# Topology flavors
+# ----------------------------------------------------------------------
+def _tiered_topology(
+    rng: random.Random, n: int, params: FuzzScale
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, str]]]:
+    """Mini-Internet: tier-1 clique, transit tier, stub leaves."""
+    num_t1 = rng.randint(1, max(1, min(3, n // 3)))
+    num_t2 = rng.randint(0, max(0, (n - num_t1) // 2))
+    t1 = list(range(1, num_t1 + 1))
+    t2 = list(range(num_t1 + 1, num_t1 + num_t2 + 1))
+    stubs = list(range(num_t1 + num_t2 + 1, n + 1))
+    ases = (
+        [(asn, 1) for asn in t1]
+        + [(asn, 2) for asn in t2]
+        + [(asn, 3) for asn in stubs]
+    )
+    links: List[Tuple[int, int, str]] = []
+    for i, a in enumerate(t1):
+        for b in t1[i + 1:]:
+            links.append((a, b, "peer"))
+    for asn in t2:
+        for provider in rng.sample(t1, rng.randint(1, min(2, len(t1)))):
+            links.append((asn, provider, "provider"))
+    for i, a in enumerate(t2):
+        for b in t2[i + 1:]:
+            if rng.random() < 0.25:
+                links.append((a, b, "peer"))
+    upstream_pool = t2 or t1
+    for asn in stubs:
+        k = rng.randint(1, min(2, len(upstream_pool)))
+        for provider in rng.sample(upstream_pool, k):
+            links.append((asn, provider, "provider"))
+    return ases, links
+
+
+def _uniform_topology(
+    rng: random.Random, n: int, params: FuzzScale
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, str]]]:
+    """Random connected graph with arbitrary relationship labels."""
+    ases = [(asn, 3) for asn in range(1, n + 1)]
+    links: List[Tuple[int, int, str]] = []
+    present = set()
+    order = list(range(2, n + 1))
+    rng.shuffle(order)
+    connected = [1]
+    for asn in order:
+        other = rng.choice(connected)
+        links.append((asn, other, rng.choice(_RELS)))
+        present.add(frozenset((asn, other)))
+        connected.append(asn)
+    extra = int(n * params.extra_links)
+    for _ in range(extra):
+        a, b = rng.sample(range(1, n + 1), 2)
+        key = frozenset((a, b))
+        if key in present:
+            continue
+        present.add(key)
+        links.append((a, b, rng.choice(_RELS)))
+    return ases, links
+
+
+def _neighbor_map(
+    ases: List[Tuple[int, int]], links: List[Tuple[int, int, str]]
+) -> Dict[int, List[int]]:
+    out: Dict[int, List[int]] = {asn: [] for asn, _tier in ases}
+    for a, b, _rel in links:
+        out[a].append(b)
+        out[b].append(a)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Policy / origination / action mutations
+# ----------------------------------------------------------------------
+def _random_policy(rng: random.Random, neighbors: List[int]) -> dict:
+    """One policy delta; most are gate-rejected on purpose (the budget)."""
+    roll = rng.random()
+    if roll < 0.15:
+        # Supported delta: the gate must still accept this case.
+        return {"propagates_communities": False}
+    if roll < 0.30:
+        return {"loop_max_occurrences": rng.choice([0, 2])}
+    if roll < 0.45:
+        return {"reject_peer_paths_from_customers": True}
+    if roll < 0.60:
+        return {"honours_communities": True}
+    if roll < 0.80 and neighbors:
+        nbr = rng.choice(sorted(neighbors))
+        return {
+            "local_pref_overrides": {nbr: rng.choice([85, 95, 150])}
+        }
+    return {"flap_damping": True}
+
+
+def _random_origination(
+    rng: random.Random,
+    asn: int,
+    asns: List[int],
+    neighbors: List[int],
+    params: FuzzScale,
+) -> OrigSpec:
+    prefix = str(prefix_for_asn(asn))
+    others = [a for a in asns if a != asn]
+    med = rng.choice([1, 2, 5]) if rng.random() < params.p_med else 0
+    style = rng.random()
+    if style < 0.55 or not others:
+        return OrigSpec(asn=asn, prefix=prefix, med=med)
+    if style < 0.70:  # prepending
+        path = (asn,) * rng.randint(2, 4)
+        return OrigSpec(asn=asn, prefix=prefix, path=path, med=med)
+    if style < 0.85:  # poison sandwich
+        poisons = rng.sample(others, min(len(others), rng.randint(1, 2)))
+        path = (asn, *poisons, asn)
+        return OrigSpec(asn=asn, prefix=prefix, path=path, med=med)
+    # per-neighbor: suppress some sessions, poison toward others
+    per: Dict[int, Optional[Tuple[int, ...]]] = {}
+    for nbr in sorted(neighbors):
+        roll = rng.random()
+        if roll < 0.3:
+            per[nbr] = None
+        elif roll < 0.5:
+            per[nbr] = (asn, rng.choice(others), asn)
+    return OrigSpec(
+        asn=asn, prefix=prefix, per_neighbor=per or None, med=med
+    )
+
+
+def _random_action(
+    rng: random.Random,
+    asns: List[int],
+    links: List[Tuple[int, int, str]],
+    originations: List[OrigSpec],
+    params: FuzzScale,
+) -> Optional[ActionSpec]:
+    roll = rng.random()
+    if roll < 0.3 and links:
+        a, b, _rel = links[rng.randrange(len(links))]
+        return ActionSpec(op="reset", asn=a, peer=b)
+    if roll < 0.45 and originations:
+        org = originations[rng.randrange(len(originations))]
+        return ActionSpec(op="withdraw", asn=org.asn, prefix=org.prefix)
+    if not originations:
+        return None
+    org = originations[rng.randrange(len(originations))]
+    others = [a for a in asns if a != org.asn]
+    med = rng.choice([0, 0, 3]) if params.p_med else 0
+    if roll < 0.75 and others:  # re-announce with a poison
+        poisons = rng.sample(others, min(len(others), rng.randint(1, 2)))
+        path = (org.asn, *poisons, org.asn)
+        return ActionSpec(
+            op="announce", asn=org.asn, prefix=org.prefix, path=path,
+            med=med,
+        )
+    # restore the plain announcement
+    return ActionSpec(op="announce", asn=org.asn, prefix=org.prefix, med=med)

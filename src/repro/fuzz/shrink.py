@@ -1,0 +1,151 @@
+"""Greedy 1-minimal shrinking of failing cases.
+
+:func:`single_reductions` enumerates every way to remove *one element*
+from a case — an AS (cascading its links, policies, originations and
+actions), a link, a policy delta, an origination, an action, a fault
+rate, a per-neighbor entry, a custom path, a MED.  The shrinker runs the
+failure predicate over candidates in that fixed order and restarts from
+the first one that still fails, looping to a fixpoint: the result is
+1-minimal (removing any single element makes the failure vanish) and a
+pure function of the input case — no randomness anywhere.
+
+The predicate is "same failure signature" (verdict + crashing side +
+exception type), not "same diff": shrinking legitimately changes which
+keys diverge, but must never turn a divergence into a crash and call it
+progress.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+from repro.fuzz.case import FuzzCase
+
+#: Default cap on predicate executions per shrink (a failing medium case
+#: enumerates a few hundred candidates per round; rounds shrink fast).
+DEFAULT_SHRINK_BUDGET = 2000
+
+
+def single_reductions(
+    case: FuzzCase,
+) -> Iterator[Tuple[str, FuzzCase]]:
+    """Every candidate one element smaller, as (label, candidate).
+
+    Order is deterministic and coarse-to-fine: whole ASes first (each
+    removal cascades everything referencing the AS, so these make the
+    biggest strides), then links, originations, actions, policies,
+    fault rates, and finally intra-element simplifications.
+    """
+    for asn, _tier in case.ases:
+        yield f"as:{asn}", _without_as(case, asn)
+    for i in range(len(case.links) - 1, -1, -1):
+        a, b, rel = case.links[i]
+        cand = case.clone()
+        del cand.links[i]
+        yield f"link:{a}-{b}-{rel}", cand
+    for i in range(len(case.originations) - 1, -1, -1):
+        cand = case.clone()
+        org = cand.originations.pop(i)
+        yield f"orig:{i}:AS{org.asn}", cand
+    for i in range(len(case.actions) - 1, -1, -1):
+        cand = case.clone()
+        act = cand.actions.pop(i)
+        yield f"action:{i}:{act.op}", cand
+    for asn in sorted(case.policies):
+        cand = case.clone()
+        del cand.policies[asn]
+        yield f"policy:AS{asn}", cand
+    if case.drop_rate > 0:
+        cand = case.clone()
+        cand.drop_rate = 0.0
+        yield "drop_rate", cand
+    if case.dup_rate > 0:
+        cand = case.clone()
+        cand.dup_rate = 0.0
+        yield "dup_rate", cand
+    yield from _spec_simplifications(case)
+
+
+def _spec_simplifications(
+    case: FuzzCase,
+) -> Iterator[Tuple[str, FuzzCase]]:
+    """One-element simplifications inside originations and actions."""
+    for i, org in enumerate(case.originations):
+        if org.per_neighbor:
+            for nbr in sorted(org.per_neighbor):
+                cand = case.clone()
+                spec = cand.originations[i]
+                del spec.per_neighbor[nbr]
+                if not spec.per_neighbor:
+                    spec.per_neighbor = None
+                yield f"orig:{i}:per_neighbor:{nbr}", cand
+        if org.path is not None:
+            cand = case.clone()
+            cand.originations[i].path = None
+            yield f"orig:{i}:path", cand
+        if org.med:
+            cand = case.clone()
+            cand.originations[i].med = 0
+            yield f"orig:{i}:med", cand
+    for i, act in enumerate(case.actions):
+        if act.path is not None:
+            cand = case.clone()
+            cand.actions[i].path = None
+            yield f"action:{i}:path", cand
+        if act.med:
+            cand = case.clone()
+            cand.actions[i].med = 0
+            yield f"action:{i}:med", cand
+
+
+def _without_as(case: FuzzCase, asn: int) -> FuzzCase:
+    """Remove one AS and everything that references it directly.
+
+    Poison hops naming the removed AS are kept: non-graph ASNs in paths
+    are legal (real poisons routinely name distant ASes).
+    """
+    cand = case.clone()
+    cand.ases = [(a, t) for a, t in cand.ases if a != asn]
+    cand.links = [
+        (a, b, rel) for a, b, rel in cand.links if asn not in (a, b)
+    ]
+    cand.policies.pop(asn, None)
+    cand.originations = [
+        org for org in cand.originations if org.asn != asn
+    ]
+    cand.actions = [
+        act
+        for act in cand.actions
+        if not (
+            act.asn == asn or (act.op == "reset" and act.peer == asn)
+        )
+    ]
+    return cand
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    *,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> Tuple[FuzzCase, int]:
+    """Greedily minimize *case* while ``still_fails`` holds.
+
+    Returns (minimal case, predicate executions).  When the budget is
+    exhausted the best case so far is returned — still failing, maybe
+    not yet 1-minimal.
+    """
+    current = case
+    runs = 0
+    improved = True
+    while improved:
+        improved = False
+        for _label, candidate in single_reductions(current):
+            if runs >= budget:
+                return current, runs
+            runs += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current, runs

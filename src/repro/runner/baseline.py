@@ -46,6 +46,7 @@ from repro.bgp.engine import BGPEngine, EngineConfig
 from repro.bgp.solver import (
     Origination,
     SolverUnsupported,
+    gate_reason_slug,
     solve,
     solver_unsupported_reason,
 )
@@ -210,6 +211,7 @@ def converged_internet(
                 )
             effective = MODE_EVENT
             stats.count("solver.fallbacks")
+            stats.count(f"solver.gate_rejections.{gate_reason_slug(reason)}")
         else:
             effective = MODE_SOLVER
 

@@ -1,0 +1,225 @@
+"""The differential fuzzer: generator, executor, shrinker, campaign."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    ActionSpec,
+    FuzzCase,
+    OrigSpec,
+    VERDICT_DIVERGENCE,
+    VERDICT_EQUAL,
+    VERDICT_GATE_REJECTED,
+    generate_case,
+    run_campaign,
+    run_case,
+    shrink_case,
+    single_reductions,
+)
+from repro.fuzz.corpus import load_entries, replay_entry
+from repro.runner.baseline import converged_internet
+from repro.runner.stats import RunStats
+
+
+class TestGenerator:
+    def test_same_seed_same_case(self):
+        a = generate_case(0, 5, "small")
+        b = generate_case(0, 5, "small")
+        assert a.digest() == b.digest()
+
+    def test_different_index_different_case(self):
+        digests = {generate_case(0, i, "small").digest() for i in range(8)}
+        assert len(digests) == 8
+
+    def test_json_round_trip(self):
+        for index in range(20):
+            case = generate_case(3, index, "small")
+            again = FuzzCase.from_json(
+                json.loads(json.dumps(case.to_json()))
+            )
+            assert again.canonical() == case.canonical()
+
+    def test_unknown_scale_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            generate_case(0, 0, "galactic")
+
+
+class TestExecutor:
+    def test_small_campaign_is_clean(self):
+        report = run_campaign(
+            seed=0, cases=40, scale="tiny", workers=1, shrink=False
+        )
+        assert report.ok
+        assert report.equal + report.gate_rejected == 40
+        assert report.equal > 0, "campaign must exercise the solver"
+        assert report.gate_rejected > 0, (
+            "campaign must exercise the gate budget"
+        )
+
+    def test_moas_is_gate_rejected(self):
+        case = FuzzCase(
+            seed=7,
+            engine_seed=7,
+            ases=[(1, 1), (2, 2), (3, 2)],
+            links=[(2, 1, "provider"), (3, 1, "provider")],
+            originations=[
+                OrigSpec(2, "10.0.0.0/16"),
+                OrigSpec(3, "10.0.0.0/16"),
+            ],
+        )
+        result = run_case(case)
+        assert result.verdict == VERDICT_GATE_REJECTED
+        assert "multiple originations" in result.reason
+
+    def test_med_survives_both_backends(self):
+        case = FuzzCase(
+            seed=11,
+            engine_seed=11,
+            ases=[(1, 1), (2, 2)],
+            links=[(2, 1, "provider")],
+            originations=[OrigSpec(2, "10.2.0.0/16", med=5)],
+            actions=[
+                ActionSpec(
+                    op="announce", asn=2, prefix="10.2.0.0/16", med=7
+                )
+            ],
+        )
+        result = run_case(case)
+        assert result.verdict == VERDICT_EQUAL, result.diff
+
+    def test_injected_divergence_is_caught(self):
+        # Index 1: a case whose perturbation script does not re-announce
+        # the tampered prefix (an announce action would heal the
+        # injected corruption and mask the divergence).
+        case = generate_case(0, 1, "tiny")
+        healthy = run_case(case)
+        assert healthy.verdict == VERDICT_EQUAL
+        broken = run_case(case, inject_divergence=True)
+        assert broken.verdict == VERDICT_DIVERGENCE
+        assert broken.diff
+
+
+class TestShrinker:
+    @staticmethod
+    def _failing_case():
+        case = generate_case(0, 1, "small")
+        result = run_case(case, inject_divergence=True)
+        assert result.failed
+        return case, result.signature()
+
+    def test_shrink_is_deterministic(self):
+        case, signature = self._failing_case()
+
+        def still_fails(candidate):
+            result = run_case(candidate, inject_divergence=True)
+            return result.failed and result.signature() == signature
+
+        first, _ = shrink_case(case, still_fails, budget=2000)
+        second, _ = shrink_case(case, still_fails, budget=2000)
+        assert first.digest() == second.digest()
+
+    def test_shrunk_case_is_one_minimal(self):
+        case, signature = self._failing_case()
+
+        def still_fails(candidate):
+            result = run_case(candidate, inject_divergence=True)
+            return result.failed and result.signature() == signature
+
+        shrunk, _ = shrink_case(case, still_fails, budget=2000)
+        assert still_fails(shrunk)
+        for label, candidate in single_reductions(shrunk):
+            assert not still_fails(candidate), (
+                f"reduction {label!r} still fails: not 1-minimal"
+            )
+
+
+class TestCampaign:
+    def test_worker_count_invariance(self):
+        serial = run_campaign(
+            seed=4, cases=24, scale="tiny", workers=1, shrink=False
+        )
+        pooled = run_campaign(
+            seed=4, cases=24, scale="tiny", workers=2, shrink=False
+        )
+        assert serial.as_dict() == pooled.as_dict()
+
+    def test_inject_end_to_end(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        stats = RunStats()
+        report = run_campaign(
+            seed=0,
+            cases=2,
+            scale="small",
+            workers=1,
+            shrink=True,
+            corpus_dir=str(corpus),
+            inject_divergence=True,
+            stats=stats,
+        )
+        assert not report.ok
+        assert report.divergences == 2
+        assert stats.counters["fuzz.divergence"] == 2
+        assert stats.counters["fuzz.shrink_runs"] > 0
+        for failure in report.failures:
+            assert len(failure.shrunk.ases) <= 8
+            assert failure.corpus_path is not None
+            assert os.path.exists(failure.corpus_path)
+        entries = load_entries(str(corpus))
+        assert len(entries) == 2
+        # The injected corruption is gone on a plain replay, so the
+        # written expect="equal" pins pass against the healthy tree.
+        for _path, entry in entries:
+            ok, detail = replay_entry(entry)
+            assert ok, detail
+
+    def test_gate_budget_counters(self):
+        stats = RunStats()
+        report = run_campaign(
+            seed=0, cases=40, scale="tiny", workers=1, shrink=False,
+            stats=stats,
+        )
+        assert report.gate_reasons
+        for slug, count in report.gate_reasons.items():
+            assert stats.counters[f"fuzz.gate_rejections.{slug}"] == count
+
+
+class TestBaselineGateCounter:
+    def test_auto_fallback_counts_reason_slug(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.runner.baseline.solver_unsupported_reason",
+            lambda engine, originations: "AS1: sibling link",
+        )
+        stats = RunStats()
+        converged_internet("tiny", 2, mode="auto", cache=None, stats=stats)
+        assert stats.counters["solver.gate_rejections.sibling_link"] == 1
+
+
+class TestFuzzCLI:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["fuzz", "--cases", "10", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Differential fuzz" in out
+
+    def test_divergence_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--cases",
+                "2",
+                "--scale",
+                "tiny",
+                "--inject-divergence",
+                "--corpus-dir",
+                str(tmp_path / "corpus"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL case 1" in captured.err
+        assert list((tmp_path / "corpus").glob("fuzz-*.json"))
