@@ -52,19 +52,24 @@ class AnnouncementSpec:
     selective: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     #: providers the prefix is NOT advertised to (selective advertising).
     suppressed_providers: Tuple[int, ...] = ()
+    #: provider ASN -> extra prepend on that provider's announcement
+    #: (prepend-only steering: make one ingress unattractive without
+    #: poisoning anybody, so defense filters have nothing to reject).
+    prepend_overrides: Dict[int, int] = field(default_factory=dict)
 
     def path_for(self, origin: int, provider: int) -> Optional[ASPath]:
         if provider in self.suppressed_providers:
             return None
+        prepend = self.prepend + self.prepend_overrides.get(provider, 0)
         poison = self.selective.get(provider, self.poisoned)
         if not poison:
-            return make_path(origin, prepend=self.prepend)
+            return make_path(origin, prepend=prepend)
         # Keep the poisoned path the same length as the prepended
         # baseline (O-O-O -> O-A-O): equal length + same next hop means
         # unaffected ASes adopt the update without path exploration
         # (§3.1.1).  If the poison list outgrows the prepend budget the
         # path necessarily lengthens.
-        head = max(1, self.prepend - len(poison))
+        head = max(1, prepend - len(poison))
         return make_path(origin, prepend=head, poison=poison)
 
 
@@ -131,6 +136,7 @@ class OriginController:
         production_prefix: Prefix,
         sentinel_prefix: Optional[Prefix] = None,
         prepend: int = 3,
+        prepend_extra: int = 3,
         pacer: Optional[AnnouncementPacer] = None,
     ) -> None:
         if origin_asn not in engine.speakers:
@@ -153,10 +159,14 @@ class OriginController:
         self._spec = AnnouncementSpec(
             prefix=production_prefix, prepend=prepend
         )
+        #: extra prepend a ledgered "prepend" entry adds at its providers.
+        self.prepend_extra = prepend_extra
         self._avoid_hint: frozenset = frozenset()
         #: active remediations keyed by the repair that owns them; each
-        #: value is ``(mode, asns)`` with mode "poison" or "avoid", and
-        #: every announcement carries the per-mode union of the values.
+        #: value is ``(mode, value)`` where mode is "poison"/"avoid"
+        #: (value: poisoned/avoided ASNs) or "prepend"/"suppress" (value:
+        #: provider ASNs steered or withheld), and every announcement
+        #: carries the per-mode union of the values.
         self._ledger: Dict[str, Tuple[str, Tuple[int, ...]]] = {}
         #: damping-aware announcement budget (advisory: consulted by the
         #: control loop before adding churn, never blocks ``_apply``).
@@ -174,6 +184,7 @@ class OriginController:
         self._ledger = {}
         self._spec.poisoned = ()
         self._spec.selective = {}
+        self._spec.prepend_overrides = {}
         self._apply("baseline")
         if self.sentinel_prefix is not None:
             self.engine.originate(
@@ -200,15 +211,24 @@ class OriginController:
         """
         poisoned = self._ledger_union("poison")
         avoid = frozenset(self._ledger_union("avoid"))
+        overrides = {
+            provider: self.prepend_extra
+            for provider in self._ledger_union("prepend")
+        }
+        suppressed = self._ledger_union("suppress")
         if (
             poisoned == self._spec.poisoned
             and avoid == self._avoid_hint
+            and overrides == self._spec.prepend_overrides
+            and suppressed == self._spec.suppressed_providers
             and not self._spec.selective
         ):
             self.log.append((self.engine.now, f"{description} (no-op)"))
             return False
         self._spec.poisoned = poisoned
         self._spec.selective = {}
+        self._spec.prepend_overrides = overrides
+        self._spec.suppressed_providers = suppressed
         self._avoid_hint = avoid
         self._apply(description)
         return True
@@ -282,6 +302,54 @@ class OriginController:
         self._ledger[key] = ("avoid", avoid_list)
         return self._apply_ledger(f"avoid-problem {avoid_list} [{key}]")
 
+    def steer_prepend(
+        self, providers: Sequence[int], key: str = "default"
+    ) -> bool:
+        """Prepend-only steering: pad the path via *providers* (§3.1.2).
+
+        The announcement through each listed provider carries
+        ``prepend_extra`` additional origin copies, making that ingress
+        unattractive without inserting any foreign ASN — so poisoned-path
+        filters, reserved-ASN rejection and Peerlock have nothing to
+        match.  Ledgered like a poison; concurrent repairs compose.
+        Returns True if an announcement actually went out.
+        """
+        steer_list = tuple(sorted(providers))
+        unknown = set(steer_list) - set(self.providers)
+        if unknown:
+            raise ControlError(f"not providers: {sorted(unknown)}")
+        if not steer_list:
+            raise ControlError("empty steer list (use unpoison)")
+        self._ledger[key] = ("prepend", steer_list)
+        return self._apply_ledger(f"steer-prepend {steer_list} [{key}]")
+
+    def suppress_providers(
+        self, providers: Sequence[int], key: str = "default"
+    ) -> bool:
+        """Ledgered selective advertisement: withdraw from *providers*.
+
+        The production prefix stops being announced via the listed
+        providers — a true withdrawal no import filter can ignore —
+        while the remaining providers keep the clean baseline.  Refuses
+        to suppress the whole provider set (the union across every
+        active ledger entry must leave at least one announcing
+        provider).  Returns True if an announcement actually went out.
+        """
+        suppress_list = tuple(sorted(providers))
+        unknown = set(suppress_list) - set(self.providers)
+        if unknown:
+            raise ControlError(f"not providers: {sorted(unknown)}")
+        if not suppress_list:
+            raise ControlError("empty suppress list (use unpoison)")
+        union = set(self._ledger_union("suppress")) | set(suppress_list)
+        if union >= set(self.providers):
+            raise ControlError(
+                "refusing to suppress every provider "
+                f"({sorted(union)}): the prefix would go dark"
+            )
+        self._ledger[key] = ("suppress", suppress_list)
+        return self._apply_ledger(f"suppress {suppress_list} [{key}]")
+
     def unpoison(self, key: Optional[str] = None) -> bool:
         """Withdraw one repair's poison — or, with no *key*, everything.
 
@@ -296,8 +364,10 @@ class OriginController:
             if key not in self._ledger:
                 raise ControlError(f"no active poison under key {key!r}")
             del self._ledger[key]
-            remaining = self._ledger_union("poison") + self._ledger_union(
-                "avoid"
+            remaining = tuple(
+                value
+                for mode in ("poison", "avoid", "prepend", "suppress")
+                for value in self._ledger_union(mode)
             )
             suffix = f"remaining {remaining}" if remaining else "baseline"
             return self._apply_ledger(f"unpoison [{key}] -> {suffix}")
@@ -305,6 +375,7 @@ class OriginController:
         self._spec.poisoned = ()
         self._spec.selective = {}
         self._spec.suppressed_providers = ()
+        self._spec.prepend_overrides = {}
         self._avoid_hint = frozenset()
         self._apply("unpoison")
         return True

@@ -27,6 +27,46 @@ from repro.topology.relationships import Relationship, local_pref_for, may_expor
 #: to settlement-free peers (modelled on the SAVVIS example in §2.3).
 NO_EXPORT_TO_PEERS = 666
 
+#: IANA-reserved / never-allocated ASN ranges (AS 0, AS_TRANS, the
+#: documentation and private-use blocks, and the 32-bit private block).
+#: Defense-enabled ASes reject paths containing any of these — a poison
+#: built from a made-up ASN dies at the first such filter.
+RESERVED_ASN_RANGES: Tuple[Tuple[int, int], ...] = (
+    (0, 0),
+    (23456, 23456),
+    (64496, 64511),
+    (64512, 65535),
+    (4200000000, 4294967295),
+)
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True when *asn* falls in an IANA-reserved/private range."""
+    for low, high in RESERVED_ASN_RANGES:
+        if low <= asn <= high:
+            return True
+    return False
+
+
+def looks_poisoned(as_path: Tuple[int, ...]) -> bool:
+    """True when a path carries the poison-sandwich signature.
+
+    A poisoned announcement repeats the origin around the poisoned ASNs
+    (``O … X … O``), so after collapsing consecutive prepends some ASN
+    appears in two separate runs.  Legitimate Gao-Rexford paths never do:
+    prepending repeats an ASN only contiguously.
+    """
+    previous: Optional[int] = None
+    seen: Set[int] = set()
+    for hop in as_path:
+        if hop == previous:
+            continue
+        if hop in seen:
+            return True
+        seen.add(hop)
+        previous = hop
+    return False
+
 
 @dataclass
 class SpeakerConfig:
@@ -55,6 +95,29 @@ class SpeakerConfig:
     damping_suppress_threshold: float = 2000.0
     damping_reuse_threshold: float = 750.0
     damping_half_life: float = 900.0  # 15 minutes
+    #: Anti-poisoning defenses measured in "Withdrawing the BGP
+    #: Re-Routing Curtain" / the Peerlock literature.  All default OFF so
+    #: an unconfigured speaker behaves exactly as before; the deployment
+    #: sweep in :mod:`repro.topology.generate` turns them on tier-biased.
+    #
+    #: Drop announcements whose AS path has the poison-sandwich shape
+    #: (an ASN recurring in two separate runs, e.g. ``O A O``).
+    filter_poisoned_paths: bool = False
+    #: Drop announcements whose path contains a reserved/private ASN.
+    reject_reserved_asns: bool = False
+    #: Drop announcements whose AS path exceeds this many hops (0: no
+    #: cap).  Real caps sit well above organic path lengths, so only
+    #: heavily prepended or deeply poisoned paths trip them.
+    as_path_max_length: int = 0
+    #: Peerlock: protected big-network ASNs that must never appear in a
+    #: customer-learned path (a customer cannot legitimately transit a
+    #: tier-1, so such a path is a leak — or a poison).
+    peerlock_protected: Tuple[int, ...] = ()
+    #: Data-plane fallback: this AS points a default route at a provider,
+    #: so losing the BGP route for a prefix does not stop it delivering
+    #: traffic — the defense that makes poisons look "successful" at the
+    #: control plane while changing nothing for the stub's packets.
+    default_route_via_provider: bool = False
 
 
 class PolicyEngine:
@@ -81,11 +144,12 @@ class PolicyEngine:
         peer_asns: Set[int],
     ) -> bool:
         """Import filter: loop prevention plus configured quirks."""
-        limit = self.config.loop_max_occurrences
+        config = self.config
+        limit = config.loop_max_occurrences
         if limit > 0 and occurrences(announcement.as_path, self.asn) >= limit:
             return False
         if (
-            self.config.reject_peer_paths_from_customers
+            config.reject_peer_paths_from_customers
             and relationship is Relationship.CUSTOMER
         ):
             # Skip the first hop (the customer itself may legitimately be a
@@ -93,6 +157,28 @@ class PolicyEngine:
             # the filter.
             if any(hop in peer_asns for hop in announcement.as_path[1:]):
                 return False
+        if (
+            config.as_path_max_length
+            and len(announcement.as_path) > config.as_path_max_length
+        ):
+            return False
+        if config.filter_poisoned_paths and looks_poisoned(
+            announcement.as_path
+        ):
+            return False
+        if config.reject_reserved_asns and any(
+            is_reserved_asn(hop) for hop in announcement.as_path
+        ):
+            return False
+        if (
+            config.peerlock_protected
+            and relationship is Relationship.CUSTOMER
+            and any(
+                hop in config.peerlock_protected
+                for hop in announcement.as_path[1:]
+            )
+        ):
+            return False
         return True
 
     def local_pref(

@@ -138,9 +138,10 @@ def solver_unsupported_reason(
 
     The solver assumes default Gao-Rexford decision/export behaviour:
     sibling links, local-pref overrides, non-standard loop limits, the
-    Cogent peer filter, community-driven export and flap damping all
-    change which routing is stable, so any of them forces the event
-    engine.  Announcement-level features the engine layers on top
+    Cogent peer filter, community-driven export, flap damping and the
+    anti-poisoning import filters (poisoned-path/reserved-ASN rejection,
+    path-length caps, Peerlock) all change which routing is stable, so
+    any of them forces the event engine.  Announcement-level features the engine layers on top
     (communities, AVOID_PROBLEM hints) are likewise out of scope.
     """
     for asn, speaker in engine.speakers.items():
@@ -155,6 +156,14 @@ def solver_unsupported_reason(
             return f"AS{asn}: local_pref_overrides"
         if config.flap_damping:
             return f"AS{asn}: flap_damping"
+        if config.filter_poisoned_paths:
+            return f"AS{asn}: filter_poisoned_paths"
+        if config.reject_reserved_asns:
+            return f"AS{asn}: reject_reserved_asns"
+        if config.as_path_max_length:
+            return f"AS{asn}: as_path_max_length"
+        if config.peerlock_protected:
+            return f"AS{asn}: peerlock_protected"
         if Relationship.SIBLING in speaker.neighbors.values():
             return f"AS{asn}: sibling link"
     seen_prefixes = set()
@@ -186,6 +195,10 @@ _GATE_REASON_SLUGS = (
     ("honours_communities", "honours_communities"),
     ("local_pref_overrides", "local_pref_overrides"),
     ("flap_damping", "flap_damping"),
+    ("filter_poisoned_paths", "filter_poisoned_paths"),
+    ("reject_reserved_asns", "reject_reserved_asns"),
+    ("as_path_max_length", "as_path_max_length"),
+    ("peerlock_protected", "peerlock_protected"),
     ("sibling link", "sibling_link"),
     ("multiple originations", "duplicate_prefix"),
     ("unknown AS", "unknown_origin"),

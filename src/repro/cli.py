@@ -301,6 +301,110 @@ def _env_int(name: str, default: int) -> int:
     return int(value) if value else default
 
 
+def defense_summary(study) -> dict:
+    """Deterministic JSON-able summary of a defense sweep (byte-stable
+    across same-seed runs: no timestamps, no floats beyond the inputs)."""
+    points = []
+    for point in study.points:
+        points.append({
+            "rate": point.rate,
+            "ladder": point.ladder,
+            "injected": point.injected,
+            "detected": point.detected,
+            "repaired": point.repaired,
+            "ladder_repairs": point.ladder_repairs,
+            "escalations": point.escalations,
+            "rollbacks": point.rollbacks,
+            "breaker_opens": point.breaker_opens,
+            "abandoned": point.abandoned,
+            "controller_crashes": point.controller_crashes,
+            "recovered_records": point.recovered_records,
+            "mean_time_to_repair": point.mean_time_to_repair,
+        })
+    return {"points": points, "abandoned_total": study.abandoned_total}
+
+
+def _cmd_defenses(args: argparse.Namespace) -> int:
+    from repro.experiments.defenses import run_defense_study
+    from repro.runner.stats import RunStats
+
+    try:
+        rates = tuple(
+            float(part) for part in args.sweep.split(",") if part.strip()
+        )
+    except ValueError:
+        print(f"bad --sweep {args.sweep!r}: expected comma-separated "
+              f"rates in [0, 1]", file=sys.stderr)
+        return 2
+    run_stats = RunStats()
+    study = run_defense_study(
+        scale=args.scale,
+        seed=args.seed,
+        rates=rates,
+        num_outages=args.outages,
+        workers=args.workers,
+        crash_controller=args.crash_controller,
+        stats=run_stats,
+    )
+    _write_metrics(args, run_stats)
+    if args.summary_out:
+        with open(args.summary_out, "w") as handle:
+            json.dump(defense_summary(study), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    table = Table(
+        "Defenses: repair vs anti-poisoning deployment rate",
+        ["rate", "ladder", "injected", "detected", "repaired",
+         "via ladder", "escalations", "rollbacks", "breaker opens",
+         "abandoned", "crashes", "recovered", "mean TTR (s)"],
+    )
+    for point in study.points:
+        ttr = point.mean_time_to_repair
+        table.add_row(
+            point.rate,
+            "on" if point.ladder else "off",
+            point.injected,
+            point.detected,
+            point.repaired,
+            point.ladder_repairs,
+            point.escalations,
+            point.rollbacks,
+            point.breaker_opens,
+            point.abandoned,
+            point.controller_crashes,
+            point.recovered_records,
+            "-" if ttr is None else f"{ttr:.0f}",
+        )
+    table.add_note(
+        "defenses: poisoned-path filters, reserved-ASN rejection, "
+        "path-length caps, Peerlock, stub default routes "
+        "(tier-biased, seed-derived deployment)"
+    )
+    table.add_note(
+        "ladder: poison -> multi-poison -> prepend-only -> selective "
+        "advertisement, one rung per rollback"
+    )
+    for rate in rates:
+        recovery = study.ladder_recovery(rate)
+        if recovery is None or rate == 0.0:
+            continue
+        lost, recovered = recovery
+        if lost:
+            table.add_note(
+                f"at rate {rate:g}: defenses cost {lost} repair(s) "
+                f"without the ladder; the ladder won back {recovered}"
+            )
+    table.emit()
+    if study.abandoned_total:
+        print(
+            f"{study.abandoned_total} repair(s) abandoned mid-flight "
+            f"(stuck state machine)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the continuous-operation service daemon over a simulated
     streaming outage workload."""
@@ -611,6 +715,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(p)
     p.set_defaults(func=_cmd_chaos)
+    p = sub.add_parser(
+        "defenses",
+        help="repair success vs anti-poisoning defense deployment rate, "
+             "fallback ladder off vs on at every rate",
+    )
+    p.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_DEFENSE_SCALE") or "tiny",
+        help="topology scale (default $REPRO_DEFENSE_SCALE, else tiny)",
+    )
+    p.add_argument(
+        "--sweep",
+        default=os.environ.get("REPRO_DEFENSE_SWEEP")
+        or "0,0.25,0.5,0.75,1.0",
+        help="comma-separated defense deployment rates in [0, 1] "
+             "(default $REPRO_DEFENSE_SWEEP, else 0,0.25,0.5,0.75,1.0)",
+    )
+    p.add_argument(
+        "--outages",
+        type=int,
+        default=_env_int("REPRO_DEFENSE_OUTAGES", 3),
+        help="injected ground-truth outages per sweep cell "
+             "(default $REPRO_DEFENSE_OUTAGES, else 3)",
+    )
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--crash-controller",
+        action="store_true",
+        help="kill the controller mid-sweep in every cell and recover "
+             "it (ladder state included) from its write-ahead journal",
+    )
+    p.add_argument(
+        "--summary-out", default=None,
+        help="write the deterministic sweep summary (JSON) to this path",
+    )
+    _add_metrics_out(p)
+    p.set_defaults(func=_cmd_defenses)
     p = sub.add_parser(
         "serve",
         help="run the continuous-operation repair daemon over a "

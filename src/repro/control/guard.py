@@ -278,3 +278,33 @@ class RepairGuard:
                 collateral_dark=len(outcome.collateral_dark),
                 probes=outcome.probes_used,
             )
+
+    # ------------------------------------------------------------------
+    # Fallback escalation (see repro.control.lifeguard.LADDER_STRATEGIES)
+    # ------------------------------------------------------------------
+    def note_fallback(
+        self,
+        subject: str,
+        step: int,
+        strategy: str,
+        asn: Optional[int],
+        now: float,
+    ) -> None:
+        """Surface one ladder escalation on the obs bus.
+
+        Emits a ``guard.fallback`` event (so ``repro trace`` timelines
+        show *which* rung a repair climbed to, not just another poison)
+        and bumps the ``lifeguard.fallback.<strategy>`` counter.
+        """
+        if self.obs is None:
+            return
+        self.obs.emit(
+            "guard.fallback", now, "control.guard",
+            subject=subject,
+            step=step,
+            strategy=strategy,
+            asn=asn,
+        )
+        metrics = getattr(self.obs, "metrics", None)
+        if metrics is not None:
+            metrics.counter(f"lifeguard.fallback.{strategy}").inc()

@@ -13,6 +13,15 @@ each outage through the state machine
 recording everything in :class:`RepairRecord` entries that the evaluation
 benches read.
 
+With ``fallback_ladder`` enabled, a rolled-back repair does not simply
+retry the same poison: each rollback climbs one rung of
+:data:`LADDER_STRATEGIES` (deeper multi-ASN poison, prepend-only
+steering, selective advertisement), so repairs that fail to propagate
+through defense filters (see :mod:`repro.bgp.policy`) escalate toward
+mechanisms no import filter can drop.  Escalations are write-ahead
+journaled ("escalate" events) and replayed by :meth:`Lifeguard.recover`
+byte-identically.
+
 Safety machinery around the repair itself lives in
 :mod:`repro.control.guard` (post-poison verification, rollback circuit
 breaker) and :mod:`repro.control.journal` (the write-ahead journal every
@@ -80,6 +89,21 @@ class RepairState(enum.Enum):
     UNPOISONED = "unpoisoned"
 
 
+#: The fallback escalation ladder (§ defenses): when post-poison
+#: verification shows a repair did not propagate — typically because
+#: defense filters dropped the poisoned announcement — the next attempt
+#: escalates one rung.  Step 0 is the ordinary single-ASN poison; deeper
+#: rungs trade precision (and announcement size) for deliverability,
+#: ending at selective advertisement, a true withdrawal no import filter
+#: can ignore.
+LADDER_STRATEGIES: Tuple[str, ...] = (
+    "poison",
+    "multi-poison",
+    "prepend",
+    "selective-advertise",
+)
+
+
 @dataclass
 class RepairRecord:
     """Everything that happened to one outage."""
@@ -103,6 +127,18 @@ class RepairRecord:
     verified_time: Optional[float] = None
     #: poisons of this outage withdrawn by the guard.
     rollbacks: int = 0
+    #: current rung on :data:`LADDER_STRATEGIES` (0: plain poison).
+    ladder_step: int = 0
+    #: strategy of the current rung when the ladder escalated (None while
+    #: still on the plain poison).
+    fallback_strategy: Optional[str] = None
+    #: how many times the ladder escalated for this outage.
+    escalations: int = 0
+    #: ASNs carried by the current/last poison announcement.
+    poison_set: Tuple[int, ...] = ()
+    #: providers steered (prepend) or withheld (selective-advertise) by
+    #: the current/last fallback announcement.
+    fallback_providers: Tuple[int, ...] = ()
 
     @property
     def key(self) -> OutageKey:
@@ -138,6 +174,11 @@ class RepairRecord:
             self.isolation_attempts,
             tuple(self.control_set),
             tuple(self.notes),
+            self.ladder_step,
+            self.fallback_strategy,
+            self.escalations,
+            tuple(self.poison_set),
+            tuple(self.fallback_providers),
         )
 
 
@@ -183,6 +224,20 @@ class LifeguardConfig:
     #: are never blocked — safety beats pacing).
     announce_window: float = 5400.0
     announce_budget: int = 6
+    #: escalate rolled-back repairs along :data:`LADDER_STRATEGIES`
+    #: (deeper poison -> prepend-only steering -> selective
+    #: advertisement) instead of retrying the same poison until the
+    #: breaker opens.  Off by default: the ladder spends announcement
+    #: budget and breaker headroom that plain deployments may not want.
+    fallback_ladder: bool = False
+    #: highest ladder rung the controller may climb to.
+    fallback_max_step: int = 3
+    #: extra origin prepends the "prepend" rung adds at the steered
+    #: provider.
+    fallback_prepend_extra: int = 3
+    #: extra ASNs (beyond the blamed one) the "multi-poison" rung may
+    #: add to cover the blamed AS's transit neighborhood.
+    fallback_max_extra_poisons: int = 2
 
 
 class Lifeguard:
@@ -237,6 +292,7 @@ class Lifeguard:
             self.production_prefix,
             sentinel_prefix=self.sentinel_manager.sentinel,
             prepend=self.config.prepend,
+            prepend_extra=self.config.fallback_prepend_extra,
             pacer=AnnouncementPacer(
                 window=self.config.announce_window,
                 max_announcements=self.config.announce_budget,
@@ -356,12 +412,20 @@ class Lifeguard:
             record.notes.append(note)
 
     @staticmethod
-    def _ledger_key(key: OutageKey) -> str:
+    def _ledger_key(key: OutageKey, step: int = 0) -> str:
         vp, dst, start = key
         # Full float precision: '{:g}' keeps 6 significant digits, which
         # collides distinct outage starts in long runs (1.2096e+07 covers
         # a 30 s-spaced pair), cross-wiring two repairs' ledger entries.
-        return f"{vp}|{dst}|{start!r}"
+        base = f"{vp}|{dst}|{start!r}"
+        if step:
+            # Each ladder rung owns its own ledger entry, so withdrawing
+            # a multi-ASN fallback never disturbs (or depends on) the
+            # original single-ASN attempt's bookkeeping.  Step 0 keeps
+            # the historical key format: journals written before the
+            # ladder existed replay unchanged.
+            return f"{base}|step{step}"
+        return base
 
     @staticmethod
     def _pair_key(record: RepairRecord) -> Tuple[str, str]:
@@ -495,76 +559,92 @@ class Lifeguard:
                 f"vantage point {vp_name} down: isolation deferred",
             )
             return
-        budget = self._isolation_budgets.setdefault(
-            record.key, RetryBudget(self.config.max_isolation_attempts)
+        # Escalated ladder rungs reuse the isolation verdict that blamed
+        # the AS in the first place: the outage has not moved, a fresh
+        # isolation run would spend the retry budget the deeper rungs
+        # need, and the verdict is already journaled.
+        reuse_isolation = (
+            self.config.fallback_ladder
+            and record.ladder_step > 0
+            and record.isolation is not None
+            and record.isolation.blamed_asn is not None
         )
-        try:
-            budget.spend("isolation", vp=vp_name, target=target)
-        except RetryExhausted as exc:
-            self._set_state(
-                record, RepairState.NOT_POISONED, now, reason=str(exc)
+        budget: Optional[RetryBudget] = None
+        if reuse_isolation:
+            isolation = record.isolation
+            record.state = RepairState.ISOLATED
+        else:
+            budget = self._isolation_budgets.setdefault(
+                record.key, RetryBudget(self.config.max_isolation_attempts)
             )
-            self._note(record, now, f"not poisoning: {exc}")
-            return
-        try:
-            isolation = self.isolator.isolate(
-                vp_name, record.outage.destination, now
-            )
-        except DegradedError as exc:
-            # VP died between the health check and the measurement.
-            budget.used -= 1
+            try:
+                budget.spend("isolation", vp=vp_name, target=target)
+            except RetryExhausted as exc:
+                self._set_state(
+                    record, RepairState.NOT_POISONED, now, reason=str(exc)
+                )
+                self._note(record, now, f"not poisoning: {exc}")
+                return
+            try:
+                isolation = self.isolator.isolate(
+                    vp_name, record.outage.destination, now
+                )
+            except DegradedError as exc:
+                # VP died between the health check and the measurement.
+                budget.used -= 1
+                self._journal(
+                    "isolation-spend", record, now, used=budget.used
+                )
+                self._journal(
+                    "deferred", record, now, why="vp-died-mid-measurement"
+                )
+                self._note_once(record, f"isolation deferred: {exc}")
+                return
+            self._journal("isolation-spend", record, now, used=budget.used)
+            record.isolation = isolation
+            record.isolation_attempts = budget.used
+            record.state = RepairState.ISOLATED
             self._journal(
-                "isolation-spend", record, now, used=budget.used
-            )
-            self._journal(
-                "deferred", record, now, why="vp-died-mid-measurement"
-            )
-            self._note_once(record, f"isolation deferred: {exc}")
-            return
-        self._journal("isolation-spend", record, now, used=budget.used)
-        record.isolation = isolation
-        record.isolation_attempts = budget.used
-        record.state = RepairState.ISOLATED
-        self._journal(
-            "isolated", record, now,
-            direction=isolation.direction.value,
-            blamed_asn=isolation.blamed_asn,
-            confidence=isolation.confidence,
-            attempts=budget.used,
-        )
-        if isolation.elapsed_seconds > self.config.isolation_timeout:
-            isolation.discount(
-                0.5,
-                f"isolation ran {isolation.elapsed_seconds:.0f}s, past "
-                f"the {self.config.isolation_timeout:.0f}s timeout",
-            )
-            self._journal(
-                "isolation-discount", record, now,
+                "isolated", record, now,
+                direction=isolation.direction.value,
+                blamed_asn=isolation.blamed_asn,
                 confidence=isolation.confidence,
+                attempts=budget.used,
             )
-        if isolation.confidence < self.config.min_confidence:
-            # DEGRADED path: keep the record OBSERVED and re-isolate on a
-            # later tick — transiently injected faults (lost probes, a
-            # crashed helper) may have cleared by then.
-            record.state = RepairState.OBSERVED
-            self._journal("deferred", record, now, why="low-confidence")
-            self._note_once(
-                record,
-                f"degraded isolation (confidence "
-                f"{isolation.confidence:.2f} < "
-                f"{self.config.min_confidence:.2f}): deferring poisoning",
-            )
-            return
-        if isolation.blamed_asn is None:
-            self._set_state(
-                record, RepairState.NOT_POISONED, now,
-                reason="isolation produced no suspect AS",
-            )
-            self._note(record, now, "isolation produced no suspect AS")
-            return
-        if not self._poisonable(isolation, record, now):
-            self._set_state(record, RepairState.NOT_POISONED, now)
-            return
+            if isolation.elapsed_seconds > self.config.isolation_timeout:
+                isolation.discount(
+                    0.5,
+                    f"isolation ran {isolation.elapsed_seconds:.0f}s, past "
+                    f"the {self.config.isolation_timeout:.0f}s timeout",
+                )
+                self._journal(
+                    "isolation-discount", record, now,
+                    confidence=isolation.confidence,
+                )
+            if isolation.confidence < self.config.min_confidence:
+                # DEGRADED path: keep the record OBSERVED and re-isolate
+                # on a later tick — transiently injected faults (lost
+                # probes, a crashed helper) may have cleared by then.
+                record.state = RepairState.OBSERVED
+                self._journal("deferred", record, now, why="low-confidence")
+                self._note_once(
+                    record,
+                    f"degraded isolation (confidence "
+                    f"{isolation.confidence:.2f} < "
+                    f"{self.config.min_confidence:.2f}): deferring "
+                    f"poisoning",
+                )
+                return
+            if isolation.blamed_asn is None:
+                self._set_state(
+                    record, RepairState.NOT_POISONED, now,
+                    reason="isolation produced no suspect AS",
+                )
+                self._note(record, now, "isolation produced no suspect AS")
+                return
+            if not self._poisonable(isolation, record, now):
+                self._set_state(record, RepairState.NOT_POISONED, now)
+                return
         asn = isolation.blamed_asn
         breaker_state = self.guard.breaker.state(
             self._pair_key(record), asn, now
@@ -583,10 +663,11 @@ class Lifeguard:
             self._note(record, now, f"not poisoning: {reason}")
             return
         if breaker_state is BreakerState.BACKOFF:
-            budget.used -= 1
-            self._journal(
-                "isolation-spend", record, now, used=budget.used
-            )
+            if budget is not None:
+                budget.used -= 1
+                self._journal(
+                    "isolation-spend", record, now, used=budget.used
+                )
             # Back to OBSERVED so ongoing_outages() revisits the record
             # once the backoff elapses (ISOLATED is never re-ticked).
             record.state = RepairState.OBSERVED
@@ -601,10 +682,11 @@ class Lifeguard:
             # Flap-damping guard (§6): adding another announcement now
             # risks walking the prefix into damping penalty at a
             # suppressing neighbor.  Withdrawals stay exempt.
-            budget.used -= 1
-            self._journal(
-                "isolation-spend", record, now, used=budget.used
-            )
+            if budget is not None:
+                budget.used -= 1
+                self._journal(
+                    "isolation-spend", record, now, used=budget.used
+                )
             record.state = RepairState.OBSERVED
             self._journal("deferred", record, now, why="pacing")
             self._note_once(
@@ -652,17 +734,28 @@ class Lifeguard:
                 now,
             )
         record.control_set = control
-        mode = "avoid" if self.config.use_avoid_problem else "poison"
+        if self.config.use_avoid_problem:
+            mode, asns, providers = "avoid", (asn,), ()
+        else:
+            mode, asns, providers = self._fallback_plan(record, asn)
         # Write-ahead: the intent hits the journal before the network.
         self._journal(
             "poison", record, now,
             asn=asn, mode=mode, control=list(control),
+            step=record.ladder_step,
+            asns=list(asns), providers=list(providers),
         )
-        ledger_key = self._ledger_key(record.key)
-        if self.config.use_avoid_problem:
-            applied = self.origin.avoid_problem([asn], key=ledger_key)
+        ledger_key = self._ledger_key(record.key, record.ladder_step)
+        if mode == "avoid":
+            applied = self.origin.avoid_problem(asns, key=ledger_key)
+        elif mode == "prepend":
+            applied = self.origin.steer_prepend(providers, key=ledger_key)
+        elif mode == "suppress":
+            applied = self.origin.suppress_providers(
+                providers, key=ledger_key
+            )
         else:
-            applied = self.origin.poison([asn], key=ledger_key)
+            applied = self.origin.poison(asns, key=ledger_key)
         if applied:
             # Effect event: an announcement actually went out (a redundant
             # same-union poison is an idempotent no-op on the wire).  The
@@ -685,6 +778,128 @@ class Lifeguard:
             poisoned_asn=asn,
             poison_time=now,
             convergence_seconds=max(0.0, converged_at - now),
+            poison_set=tuple(asns),
+            fallback_providers=tuple(providers),
+        )
+
+    # ------------------------------------------------------------------
+    # Fallback escalation ladder
+    # ------------------------------------------------------------------
+    def _max_ladder_step(self) -> int:
+        return min(
+            self.config.fallback_max_step, len(LADDER_STRATEGIES) - 1
+        )
+
+    def _fallback_plan(
+        self, record: RepairRecord, asn: int
+    ) -> Tuple[str, Tuple[int, ...], Tuple[int, ...]]:
+        """``(mode, asns, providers)`` for the record's current rung.
+
+        Degrades gracefully: a rung that cannot act on this topology
+        (single-provider origin, no suppressible provider left) falls
+        back to the plain poison rather than stalling the repair.
+        """
+        step = record.ladder_step
+        strategy = LADDER_STRATEGIES[min(step, len(LADDER_STRATEGIES) - 1)]
+        if strategy == "multi-poison":
+            return ("poison", self._deep_poison_set(record, asn), ())
+        if strategy in ("prepend", "selective-advertise"):
+            providers = self._entry_providers(asn)
+            if strategy == "selective-advertise" and providers:
+                suppressed = set()
+                for mode, value in self.origin.active_poisons().values():
+                    if mode == "suppress":
+                        suppressed.update(value)
+                keep = suppressed | set(providers)
+                if keep < set(self.origin.providers):
+                    return ("suppress", (), providers)
+                # Withdrawing would darken the prefix entirely; steer
+                # with prepends instead.
+            if providers:
+                return ("prepend", (), providers)
+        return ("poison", (asn,), ())
+
+    def _deep_poison_set(
+        self, record: RepairRecord, asn: int
+    ) -> Tuple[int, ...]:
+        """The blamed AS plus nearby transit: a wider poison for routes
+        that sneak back through the blamed AS's immediate neighborhood.
+
+        Extra ASNs are admitted (sorted, bounded by
+        ``fallback_max_extra_poisons``) only while a policy-compliant
+        path from the origin to the target still exists avoiding the
+        whole set — the ladder must never poison itself into
+        unreachability."""
+        graph = self.engine.graph
+        target_asn = self._asn_of_address(record.outage.destination)
+        chosen: List[int] = [asn]
+        candidates = sorted(
+            set(graph.providers(asn)) | set(graph.peers(asn))
+        )
+        for candidate in candidates:
+            if len(chosen) > self.config.fallback_max_extra_poisons:
+                break
+            if candidate in (self.origin_asn, target_asn) or (
+                candidate in chosen
+            ):
+                continue
+            trial = chosen + [candidate]
+            reachable = reachable_set_avoiding(
+                graph, self.origin_asn, avoid=trial
+            )
+            if target_asn in reachable:
+                chosen = trial
+        return tuple(chosen)
+
+    def _entry_providers(self, asn: int) -> Tuple[int, ...]:
+        """The origin provider whose announcements reach the blamed AS.
+
+        Steering (or withdrawing) that provider's announcement moves
+        traffic off every path entering through it — the selective
+        poisoning/advertising insight of §3.1.2, applied without
+        inserting a poisonable ASN.  When the blamed AS *is* one of the
+        origin's providers the answer is itself; otherwise it is the hop
+        just before the origin run on the blamed AS's best path."""
+        providers = self.origin.providers
+        if asn in providers:
+            return (asn,)
+        route = self.engine.best_route(asn, self.production_prefix)
+        if route is not None:
+            path = route.as_path
+            for index, hop in enumerate(path):
+                if hop == self.origin_asn and index > 0:
+                    via = path[index - 1]
+                    if via in providers:
+                        return (via,)
+                    break
+        return (providers[0],) if providers else ()
+
+    def _maybe_escalate(
+        self, record: RepairRecord, asn: Optional[int], now: float
+    ) -> None:
+        """Climb one ladder rung after a rollback (write-ahead journaled)."""
+        if (
+            not self.config.fallback_ladder
+            or record.state is not RepairState.ROLLED_BACK
+            or record.ladder_step >= self._max_ladder_step()
+        ):
+            return
+        next_step = record.ladder_step + 1
+        strategy = LADDER_STRATEGIES[next_step]
+        self._journal(
+            "escalate", record, now,
+            step=next_step, strategy=strategy, asn=asn,
+        )
+        record.ladder_step = next_step
+        record.fallback_strategy = strategy
+        record.escalations += 1
+        self._note(
+            record, now,
+            f"escalating repair of AS{asn} to fallback "
+            f"'{strategy}' (ladder step {next_step})",
+        )
+        self.guard.note_fallback(
+            self._ledger_key(record.key), next_step, strategy, asn, now
         )
 
     def _maybe_verify(self, record: RepairRecord, now: float) -> None:
@@ -726,7 +941,7 @@ class Lifeguard:
             "rollback", record, now,
             asn=asn, reason=reason, failures=failures,
         )
-        ledger_key = self._ledger_key(record.key)
+        ledger_key = self._ledger_key(record.key, record.ladder_step)
         if ledger_key in self.origin.active_poisons():
             if self.origin.unpoison(key=ledger_key):
                 self._journal("announced", record, now)
@@ -750,6 +965,11 @@ class Lifeguard:
                 record, RepairState.NOT_POISONED, now, reason=open_reason
             )
             self._note(record, now, f"not poisoning: {open_reason}")
+        # With the ineffective rung fully withdrawn (and only if the
+        # breaker left the record retryable), climb the ladder: the next
+        # attempt — after the breaker's backoff and re-isolation — uses
+        # the escalated strategy.
+        self._maybe_escalate(record, asn, now)
 
     def _maybe_retry_after_rollback(
         self, record: RepairRecord, now: float
@@ -816,7 +1036,7 @@ class Lifeguard:
         concurrent repairs stay on the announcement.
         """
         self._journal("unpoison", record, now)
-        ledger_key = self._ledger_key(record.key)
+        ledger_key = self._ledger_key(record.key, record.ladder_step)
         if ledger_key in self.origin.active_poisons():
             applied = self.origin.unpoison(key=ledger_key)
         else:
@@ -888,7 +1108,10 @@ class Lifeguard:
 
     def _replay(self, journal: RepairJournal, now: float) -> None:
         entries = list(journal.entries)
-        poison_modes: Dict[OutageKey, str] = {}
+        #: per-outage last poison intent: (mode, asns, providers, step).
+        poison_modes: Dict[
+            OutageKey, Tuple[str, Tuple[int, ...], Tuple[int, ...], int]
+        ] = {}
         announce_times: List[float] = []
         for entry in entries:
             event = entry["event"]
@@ -955,7 +1178,16 @@ class Lifeguard:
                 record.state = RepairState.OBSERVED
             elif event == "poison":
                 record.control_set = tuple(entry.get("control", ()))
-                poison_modes[key] = entry.get("mode", "poison")
+                poison_modes[key] = (
+                    entry.get("mode", "poison"),
+                    tuple(entry.get("asns", ())),
+                    tuple(entry.get("providers", ())),
+                    entry.get("step", 0),
+                )
+            elif event == "escalate":
+                record.ladder_step = entry["step"]
+                record.fallback_strategy = entry["strategy"]
+                record.escalations += 1
             elif event == "rollback":
                 self.guard.breaker.restore(
                     (key[0], key[1]),
@@ -975,9 +1207,15 @@ class Lifeguard:
                     "verified_time",
                     "repair_detected_time",
                     "unpoison_time",
+                    "poison_set",
+                    "fallback_providers",
                 ):
                     if name in entry:
-                        setattr(record, name, entry[name])
+                        value = entry[name]
+                        if name in ("poison_set", "fallback_providers"):
+                            # JSON round-trips tuples as lists.
+                            value = tuple(value)
+                        setattr(record, name, value)
                 record.state = state
                 if state in (
                     RepairState.VERIFYING, RepairState.POISONED
@@ -994,10 +1232,14 @@ class Lifeguard:
             if record.state in (
                 RepairState.VERIFYING, RepairState.POISONED
             ):
-                ledger[self._ledger_key(key)] = (
-                    poison_modes.get(key, "poison"),
-                    (record.poisoned_asn,),
+                mode, asns, providers, step = poison_modes.get(
+                    key, ("poison", (), (), 0)
                 )
+                if mode in ("prepend", "suppress"):
+                    value = providers
+                else:
+                    value = asns or (record.poisoned_asn,)
+                ledger[self._ledger_key(key, step)] = (mode, value)
         if self.origin.restore(ledger, announce_times):
             # The reconcile re-announcement consumed a pacer slot; journal
             # it so the pacer budget survives a second crash too.

@@ -14,9 +14,13 @@ from typing import Dict, Optional, Union
 from repro.bgp.engine import BGPEngine
 from repro.net.addr import Address, Prefix
 from repro.net.trie import PrefixTrie
+from repro.topology.relationships import Relationship
 
 #: Sentinel next-hop meaning "this AS originates the prefix".
 LOCAL = -1
+
+#: The 0.0.0.0/0-equivalent entry default-routed ASes point at a provider.
+DEFAULT_PREFIX = Prefix(0, 0)
 
 
 @dataclass
@@ -53,7 +57,14 @@ class FibSnapshot:
 
 
 def build_fibs(engine: BGPEngine) -> FibSnapshot:
-    """Snapshot every speaker's Loc-RIB into forwarding tables."""
+    """Snapshot every speaker's Loc-RIB into forwarding tables.
+
+    ASes configured with ``default_route_via_provider`` additionally get
+    a least-specific default entry pointing at their lowest-numbered
+    provider: even when a poison (or outage) evicts the BGP route for a
+    prefix, their packets still leave toward the provider — the measured
+    behavior that makes "unreachable" stubs keep delivering traffic.
+    """
     snapshot = FibSnapshot()
     for asn, speaker in engine.speakers.items():
         trie: PrefixTrie = PrefixTrie()
@@ -63,5 +74,13 @@ def build_fibs(engine: BGPEngine) -> FibSnapshot:
                 snapshot.origins[prefix] = asn
             else:
                 trie[prefix] = route.neighbor
+        if speaker.policy.config.default_route_via_provider:
+            providers = sorted(
+                nbr
+                for nbr, rel in speaker.neighbors.items()
+                if rel is Relationship.PROVIDER
+            )
+            if providers:
+                trie[DEFAULT_PREFIX] = providers[0]
         snapshot.tables[asn] = trie
     return snapshot

@@ -1,0 +1,348 @@
+"""Defense study: repair efficacy against deployed anti-poisoning filters.
+
+LIFEGUARD's repair primitive — announcing a path that contains the failed
+AS — looks exactly like the path-poisoning attacks that measurement
+studies later found networks filtering: poisoned-path (sandwich) filters,
+reserved-ASN rejection, AS-path-length caps, and Peerlock-style peer
+protection, plus stub networks that default-route to a provider and so
+keep delivering traffic regardless of what BGP says.  This study deploys
+those defenses (:func:`~repro.topology.generate.assign_defense_configs`)
+on a swept fraction of ASes and measures what happens to repairs:
+
+* with the **fallback ladder off**, a filtered poison verifies
+  INEFFECTIVE, rolls back, and retries the same poison until the breaker
+  opens — the repair is lost;
+* with the **ladder on** (``LifeguardConfig.fallback_ladder``), each
+  rollback escalates one rung of
+  :data:`~repro.control.lifeguard.LADDER_STRATEGIES` toward mechanisms
+  filters cannot drop (prepend-only steering, selective advertisement).
+
+Every point is scored like the robustness study — injected ground-truth
+failures, AS-level repair attribution — plus ladder bookkeeping
+(escalations, which rung repaired) and an **abandoned** count: records
+still mid-flight (ISOLATED / VERIFYING / ROLLED_BACK) at run end, which
+the CI smoke job treats as a liveness failure.  With *crash_controller*
+the controller is killed mid-sweep and recovered from its journal, so
+ladder state itself is exercised across a restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.control.lifeguard import LifeguardConfig, RepairState
+from repro.dataplane.failures import ASForwardingFailure
+from repro.experiments.robustness import (
+    ROBUSTNESS_ARRIVALS,
+    InjectedOutage,
+    _recover_controller,
+    _true_as_for,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.runner.cache import DiskCache, resolve_cache
+from repro.runner.core import run_trials
+from repro.runner.stats import RunStats
+from repro.workloads.outages import generate_outage_schedule
+from repro.workloads.scenarios import build_deployment
+
+#: Ground-truth failure schedule: identical to the robustness study so
+#: the two sweeps are comparable point-for-point.
+DEFENSE_ARRIVALS = ROBUSTNESS_ARRIVALS
+
+#: Breaker budget used by both arms: four failures leave room for every
+#: ladder rung (poison -> multi-poison -> prepend -> selective
+#: advertisement) before the breaker opens, and the ladder-off arm gets
+#: the same number of plain retries so the comparison is fair.
+BREAKER_BUDGET = 4
+
+#: Mid-sweep controller kill time (between the second and third injected
+#: outage) and how long the controller stays down.
+CRASH_AT = 14500.0
+CRASH_DOWN_FOR = 300.0
+
+def is_abandoned(record) -> bool:
+    """A record the state machine left mid-flight at run end.
+
+    Every injected outage ends well before the run does, so ISOLATED or
+    VERIFYING at the end is a stuck state machine, and ROLLED_BACK with
+    the outage still *ongoing* means retries silently stopped.
+    ROLLED_BACK after the outage ended is the designed terminal (the
+    pair recovered, retrying is pointless), and NOT_POISONED is a
+    deliberate disposition — neither is abandonment.
+    """
+    if record.state in (RepairState.ISOLATED, RepairState.VERIFYING):
+        return True
+    return (
+        record.state is RepairState.ROLLED_BACK
+        and record.outage.end is None
+    )
+
+
+@dataclass
+class DefensePoint:
+    """One (deployment rate, ladder arm) cell of the sweep."""
+
+    rate: float
+    ladder: bool
+    outages: List[InjectedOutage] = field(default_factory=list)
+    #: ladder escalations across all records.
+    escalations: int = 0
+    #: repairs completed by an escalated rung (ladder_step > 0).
+    ladder_repairs: int = 0
+    rollbacks: int = 0
+    breaker_opens: int = 0
+    #: records still mid-flight at run end (liveness gate).
+    abandoned: int = 0
+    controller_crashes: int = 0
+    recovered_records: int = 0
+    #: verified_time - outage start, per verified repair of a true AS.
+    repair_times: List[float] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return len(self.outages)
+
+    @property
+    def detected(self) -> int:
+        return sum(o.detected for o in self.outages)
+
+    @property
+    def repaired(self) -> int:
+        return sum(o.poisoned_true for o in self.outages)
+
+    @property
+    def repair_fraction(self) -> float:
+        if not self.outages:
+            return 0.0
+        return self.repaired / len(self.outages)
+
+    @property
+    def mean_time_to_repair(self) -> Optional[float]:
+        if not self.repair_times:
+            return None
+        return sum(self.repair_times) / len(self.repair_times)
+
+
+@dataclass
+class DefenseStudy:
+    """The full (rate x ladder) sweep."""
+
+    points: List[DefensePoint] = field(default_factory=list)
+
+    def point(self, rate: float, ladder: bool) -> Optional[DefensePoint]:
+        for candidate in self.points:
+            if candidate.rate == rate and candidate.ladder is ladder:
+                return candidate
+        return None
+
+    @property
+    def abandoned_total(self) -> int:
+        return sum(p.abandoned for p in self.points)
+
+    def ladder_recovery(self, rate: float) -> Optional[Tuple[int, int]]:
+        """``(lost, recovered)`` at *rate*: repairs the defenses cost the
+        ladder-off arm relative to rate 0, and how many of those the
+        ladder arm won back.  None when the sweep lacks the needed
+        points."""
+        baseline = self.point(0.0, False) or self.point(0.0, True)
+        off = self.point(rate, False)
+        on = self.point(rate, True)
+        if baseline is None or off is None or on is None:
+            return None
+        lost = max(0, baseline.repaired - off.repaired)
+        recovered = max(0, on.repaired - off.repaired)
+        return lost, recovered
+
+
+def _run_point(
+    scale: str,
+    seed: int,
+    rate: float,
+    ladder: bool,
+    num_outages: int,
+    cache: Optional[DiskCache] = None,
+    crash_controller: bool = False,
+) -> DefensePoint:
+    config = LifeguardConfig(
+        fallback_ladder=ladder,
+        breaker_max_failures=BREAKER_BUDGET,
+    )
+    scenario = build_deployment(
+        scale=scale,
+        seed=seed,
+        defense_rate=rate,
+        lifeguard_config=config,
+        cache=cache,
+    )
+    plan = FaultPlan(seed=seed + 1)
+    if crash_controller:
+        plan.add(
+            FaultSpec(
+                FaultKind.CONTROLLER_CRASH,
+                start=CRASH_AT,
+                end=CRASH_AT + CRASH_DOWN_FOR,
+            )
+        )
+    injector = FaultInjector(plan)
+    injector.attach(scenario.lifeguard)
+    lifeguard = scenario.lifeguard
+    lifeguard.prime_atlas(now=0.0)
+    point = DefensePoint(rate=rate, ladder=ladder)
+
+    schedule = generate_outage_schedule(
+        num_outages, DEFENSE_ARRIVALS, seed=seed
+    )
+    for scheduled in schedule:
+        target = scenario.targets[scheduled.index % len(scenario.targets)]
+        true_asn = _true_as_for(scenario, target)
+        if true_asn is None:
+            continue
+        outage = InjectedOutage(
+            target=target,
+            target_asn=scenario.topo.router_by_address(target).asn,
+            true_asn=true_asn,
+            start=scheduled.start,
+            end=scheduled.end,
+        )
+        lifeguard.dataplane.failures.add(
+            ASForwardingFailure(
+                asn=true_asn,
+                toward=lifeguard.sentinel_manager.sentinel,
+                start=outage.start,
+                end=outage.end,
+            )
+        )
+        point.outages.append(outage)
+
+    end = (
+        DEFENSE_ARRIVALS.first_arrival
+        + num_outages * DEFENSE_ARRIVALS.spacing
+        + 2400.0
+    )
+    interval = lifeguard.config.monitor_interval
+    now = 30.0
+    down_until: Optional[float] = None
+    survivors = None  # (journal, config, ground-truth failures)
+    while now <= end:
+        if lifeguard is None:
+            if now < down_until:
+                scenario.engine.advance_to(now)
+                now += interval
+                continue
+            lifeguard = _recover_controller(
+                scenario, injector, survivors, seed, now
+            )
+            point.recovered_records = len(lifeguard.records)
+            down_until = None
+        due = injector.controller_crash_due(now)
+        if due is not None:
+            survivors = (
+                lifeguard.journal,
+                lifeguard.config,
+                lifeguard.dataplane.failures,
+            )
+            lifeguard = None
+            down_until = max(due, now)
+            point.controller_crashes += 1
+            continue
+        lifeguard.tick(now)
+        now += interval
+    if lifeguard is None:
+        lifeguard = _recover_controller(
+            scenario, injector, survivors, seed, end
+        )
+        point.recovered_records = len(lifeguard.records)
+
+    # Score at the AS level, like the robustness study: a repair counts
+    # only once verification promoted it (POISONED/UNPOISONED) — a poison
+    # the defenses filtered never verifies, so it never scores.
+    verified_states = (RepairState.POISONED, RepairState.UNPOISONED)
+    for outage in point.outages:
+        for record in lifeguard.records:
+            if not outage.start <= record.outage.start <= outage.end:
+                continue
+            outage.detected = True
+            if (
+                record.poisoned_asn == outage.true_asn
+                and record.state in verified_states
+            ):
+                if not outage.poisoned_true:
+                    outage.poisoned_true = True
+                    if record.ladder_step > 0:
+                        point.ladder_repairs += 1
+                    if record.verified_time is not None:
+                        point.repair_times.append(
+                            record.verified_time - record.outage.start
+                        )
+                if record.state is RepairState.UNPOISONED:
+                    outage.unpoisoned = True
+    for record in lifeguard.records:
+        point.rollbacks += record.rollbacks
+        point.escalations += record.escalations
+        if is_abandoned(record):
+            point.abandoned += 1
+        for note in record.notes:
+            if "circuit breaker open" in note:
+                point.breaker_opens += 1
+    return point
+
+
+def _point_worker(context, cell: Tuple[float, bool]) -> DefensePoint:
+    """One (rate, ladder) cell on its own deployment."""
+    scale, seed, num_outages, cache_root, crash_controller = context
+    rate, ladder = cell
+    return _run_point(
+        scale,
+        seed,
+        rate,
+        ladder,
+        num_outages,
+        cache=DiskCache.maybe(cache_root),
+        crash_controller=crash_controller,
+    )
+
+
+def run_defense_study(
+    scale: str = "tiny",
+    seed: int = 0,
+    rates: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    num_outages: int = 3,
+    workers: int = 1,
+    cache=None,
+    stats: Optional[RunStats] = None,
+    crash_controller: bool = False,
+    ladder_arms: Sequence[bool] = (False, True),
+) -> DefenseStudy:
+    """Sweep defense deployment rate, ladder off vs on at every rate.
+
+    Each cell is an independent deployment (same seed, same injected
+    failures), so rate and ladder are the only moving parts.  With
+    *crash_controller*, every cell's controller is killed mid-sweep and
+    recovered from its journal.
+    """
+    stats = stats if stats is not None else RunStats()
+    cache = resolve_cache(cache, stats)
+    context = (
+        scale,
+        seed,
+        num_outages,
+        cache.root if cache is not None else None,
+        crash_controller,
+    )
+    cells = [
+        (float(rate), bool(ladder))
+        for rate in rates
+        for ladder in ladder_arms
+    ]
+    points = run_trials(
+        _point_worker,
+        cells,
+        context=context,
+        workers=workers,
+        stats=stats,
+        label="defenses",
+        chunks_per_worker=1,
+    )
+    return DefenseStudy(points=points)

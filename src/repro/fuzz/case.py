@@ -41,6 +41,11 @@ POLICY_FIELDS = frozenset(
         "honours_communities",
         "local_pref_overrides",
         "flap_damping",
+        "filter_poisoned_paths",
+        "reject_reserved_asns",
+        "as_path_max_length",
+        "peerlock_protected",
+        "default_route_via_provider",
     }
 )
 
@@ -318,6 +323,9 @@ def _policy_json(kwargs: dict) -> dict:
         out["local_pref_overrides"] = {
             str(nbr): pref for nbr, pref in sorted(overrides.items())
         }
+    protected = out.get("peerlock_protected")
+    if protected:
+        out["peerlock_protected"] = sorted(int(asn) for asn in protected)
     return out
 
 
@@ -328,4 +336,7 @@ def _policy_from(kwargs: dict) -> dict:
         out["local_pref_overrides"] = {
             int(nbr): int(pref) for nbr, pref in overrides.items()
         }
+    protected = out.get("peerlock_protected")
+    if protected:
+        out["peerlock_protected"] = tuple(int(asn) for asn in protected)
     return out

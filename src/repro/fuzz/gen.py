@@ -208,20 +208,36 @@ def _neighbor_map(
 def _random_policy(rng: random.Random, neighbors: List[int]) -> dict:
     """One policy delta; most are gate-rejected on purpose (the budget)."""
     roll = rng.random()
-    if roll < 0.15:
+    if roll < 0.10:
         # Supported delta: the gate must still accept this case.
         return {"propagates_communities": False}
-    if roll < 0.30:
+    if roll < 0.16:
+        # Data-plane-only defense knob: also gate-accepted (the solver
+        # models control-plane routes; default-routing never changes
+        # them), so the differential run must still agree.
+        return {"default_route_via_provider": True}
+    if roll < 0.28:
         return {"loop_max_occurrences": rng.choice([0, 2])}
-    if roll < 0.45:
+    if roll < 0.40:
         return {"reject_peer_paths_from_customers": True}
-    if roll < 0.60:
+    if roll < 0.50:
         return {"honours_communities": True}
-    if roll < 0.80 and neighbors:
+    if roll < 0.62 and neighbors:
         nbr = rng.choice(sorted(neighbors))
         return {
             "local_pref_overrides": {nbr: rng.choice([85, 95, 150])}
         }
+    if roll < 0.70:
+        return {"filter_poisoned_paths": True}
+    if roll < 0.76:
+        return {"reject_reserved_asns": True}
+    if roll < 0.82:
+        return {"as_path_max_length": rng.choice([3, 10, 12])}
+    if roll < 0.88 and neighbors:
+        protected = rng.sample(
+            sorted(neighbors), rng.randint(1, min(2, len(neighbors)))
+        )
+        return {"peerlock_protected": tuple(sorted(protected))}
     return {"flap_damping": True}
 
 

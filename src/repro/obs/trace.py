@@ -192,6 +192,28 @@ def assemble_timelines(
             span.detail.update(
                 asn=fields.get("asn"), mode=fields.get("mode", "poison")
             )
+            if fields.get("step"):
+                span.detail.update(
+                    step=fields.get("step"),
+                    asns=fields.get("asns"),
+                    providers=fields.get("providers"),
+                )
+        elif kind == "escalate":
+            span = Span(
+                name="fallback",
+                start=event.t,
+                end=event.t,
+                detail={
+                    "step": fields.get("step"),
+                    "strategy": fields.get("strategy"),
+                    "asn": fields.get("asn"),
+                },
+            )
+            timeline.spans.append(span)
+            timeline.notes.append(
+                f"escalated to {fields.get('strategy')} "
+                f"(step {fields.get('step')}) at t={event.t:g}"
+            )
         elif kind == "rollback":
             span = Span(
                 name="rollback",

@@ -54,7 +54,10 @@ from repro.errors import SimulationError
 from repro.runner.cache import DiskCache
 from repro.runner.stats import RunStats
 from repro.topology.as_graph import ASGraph
-from repro.topology.generate import generate_multihomed_origin
+from repro.topology.generate import (
+    assign_defense_configs,
+    generate_multihomed_origin,
+)
 
 #: ``origin_asn`` policies for :func:`converged_internet`.
 ORIGIN_ASN_NEXT = "next"  # max(ases) + 1 (the convergence/diversity choice)
@@ -146,6 +149,7 @@ def converged_internet(
     origin_providers: Optional[int] = None,
     origin_asn_policy: str = ORIGIN_ASN_NEXT,
     origin_tier: int = 3,
+    defense_rate: float = 0.0,
     mode: Optional[str] = None,
     cache: Optional[DiskCache] = None,
     stats: Optional[RunStats] = None,
@@ -163,9 +167,15 @@ def converged_internet(
     default, overridable via ``REPRO_BASELINE_MODE``) falls back to the
     event engine instead.
 
+    *defense_rate* deploys the measured anti-poisoning defenses
+    (:func:`~repro.topology.generate.assign_defense_configs`) on that
+    fraction of ASes before convergence; the origin AS never defends.
+    Any nonzero rate puts defense import filters in play, so ``auto``
+    mode falls back to the event engine via the solver gate.
+
     The cache key covers the topology shape, seed, origin attachment,
-    the full :class:`EngineConfig` and the resolved mode, so changing
-    any of them is a miss.
+    defense rate, the full :class:`EngineConfig` and the resolved mode,
+    so changing any of them is a miss.
     """
     # Deferred: workloads.scenarios imports the control stack, which
     # reaches back into repro.runner — importing it at module scope would
@@ -193,7 +203,17 @@ def converged_internet(
                 tier=origin_tier,
             )
 
-    engine = BGPEngine(graph, config)
+    defense_configs = (
+        assign_defense_configs(
+            graph,
+            defense_rate,
+            seed=seed,
+            skip=() if origin_asn is None else (origin_asn,),
+        )
+        if defense_rate > 0.0
+        else None
+    )
+    engine = BGPEngine(graph, config, defense_configs)
     originations = [
         Origination.make(node.asn, prefix)
         for node in graph.nodes()
@@ -223,6 +243,7 @@ def converged_internet(
         "origin_providers": origin_providers,
         "origin_asn_policy": origin_asn_policy,
         "origin_tier": origin_tier,
+        "defense_rate": defense_rate,
         "mode": effective,
     }
     if cache is not None:

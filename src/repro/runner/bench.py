@@ -277,6 +277,41 @@ def _bench_service(
     }
 
 
+def _bench_defenses(
+    scale: str, seed: int, workers: int,
+    cache: Optional[DiskCache], stats: RunStats,
+) -> BenchResult:
+    """Defense sweep: repairs vs anti-poisoning filters, ladder off/on.
+
+    Pinned to tiny like the robustness benchmark — each (rate, ladder)
+    cell is a full deployment replay, so the cell count, not the scale,
+    is the work knob.  Headlines record what the sweep is for: repairs
+    the defenses cost the plain poisoner and how many the fallback
+    ladder won back.
+    """
+    from repro.experiments.defenses import run_defense_study
+
+    rates = (0.0, 0.5, 1.0)
+    study = run_defense_study(
+        scale="tiny", seed=seed, rates=rates, num_outages=3,
+        workers=workers, cache=cache, stats=stats,
+    )
+    trials = sum(p.injected for p in study.points)
+    full_off = study.point(1.0, False)
+    full_on = study.point(1.0, True)
+    lost, recovered = study.ladder_recovery(1.0) or (0, 0)
+    return trials, {
+        "cells": len(study.points),
+        "repaired_defended_ladder_off": full_off.repaired,
+        "repaired_defended_ladder_on": full_on.repaired,
+        "ladder_repairs": full_on.ladder_repairs,
+        "escalations": full_on.escalations,
+        "repairs_lost": lost,
+        "repairs_recovered": recovered,
+        "abandoned": study.abandoned_total,
+    }
+
+
 #: Name -> body, in suite execution order.
 BENCHMARKS: Dict[
     str,
@@ -289,6 +324,7 @@ BENCHMARKS: Dict[
     "diversity": _bench_diversity,
     "alternate_paths": _bench_alternate_paths,
     "robustness": _bench_robustness,
+    "defenses": _bench_defenses,
     "service": _bench_service,
 }
 

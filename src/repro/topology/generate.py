@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional
 
+from repro.bgp.policy import SpeakerConfig
 from repro.errors import TopologyError
 from repro.net.addr import Prefix
 from repro.topology.as_graph import ASGraph
@@ -165,6 +166,72 @@ def generate_internet(
 
     graph.validate()
     return graph
+
+
+def assign_defense_configs(
+    graph: ASGraph,
+    rate: float,
+    seed: int = 0,
+    skip: Iterable[int] = (),
+) -> Dict[int, SpeakerConfig]:
+    """Per-AS anti-poisoning defense configs at deployment rate *rate*.
+
+    Mirrors the tier bias the measurement studies found: path-length caps
+    and Peerlock concentrate at tier-1/2 transit networks, poisoned-path
+    filters appear throughout the transit layer, and default routes to a
+    provider are a stub phenomenon.  Whether a given AS deploys *any*
+    defense is decided by a per-AS uniform derived from ``(seed, asn)``,
+    so the deployed set grows monotonically with *rate* — the sweep in
+    ``experiments/defenses.py`` compares rates on nested populations
+    instead of resampling the whole Internet at each point.  ASes in
+    *skip* (the LIFEGUARD deployer itself) never defend.
+
+    Returns only the ASes that deploy something; everyone else keeps the
+    default :class:`SpeakerConfig`.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise TopologyError(f"defense rate {rate} outside [0, 1]")
+    skip_set = set(skip)
+    tier1 = sorted(n.asn for n in graph.nodes() if n.tier == 1)
+    configs: Dict[int, SpeakerConfig] = {}
+    for node in sorted(graph.nodes(), key=lambda n: n.asn):
+        asn = node.asn
+        if asn in skip_set:
+            continue
+        rng = random.Random(f"defense|{seed}|{asn}")
+        if rng.random() >= rate:
+            continue
+        protected = tuple(t for t in tier1 if t != asn)
+        if node.tier == 1:
+            config = SpeakerConfig(
+                peerlock_protected=protected,
+                as_path_max_length=rng.choice((10, 12)),
+                filter_poisoned_paths=rng.random() < 0.5,
+                reject_reserved_asns=True,
+            )
+        elif node.tier == 2:
+            roll = rng.random()
+            if roll < 0.40:
+                config = SpeakerConfig(
+                    filter_poisoned_paths=True,
+                    reject_reserved_asns=True,
+                )
+            elif roll < 0.75:
+                config = SpeakerConfig(peerlock_protected=protected)
+            else:
+                config = SpeakerConfig(
+                    as_path_max_length=rng.choice((10, 12))
+                )
+        else:
+            if rng.random() < 0.6:
+                config = SpeakerConfig(default_route_via_provider=True)
+            else:
+                config = SpeakerConfig(
+                    filter_poisoned_paths=True,
+                    reject_reserved_asns=True,
+                )
+        configs[asn] = config
+    return configs
 
 
 def generate_multihomed_origin(

@@ -69,6 +69,7 @@ def build_deployment(
     engine_config: Optional[EngineConfig] = None,
     lifeguard_config: Optional[LifeguardConfig] = None,
     baseline_mode: Optional[str] = None,
+    defense_rate: float = 0.0,
     cache=None,
     stats=None,
     obs=None,
@@ -93,6 +94,10 @@ def build_deployment(
     :class:`~repro.control.journal.RepairJournal` (e.g. file-backed for
     the service daemon), installed before the baseline announcement so
     the write-ahead log is complete from the first entry.
+
+    *defense_rate* deploys the measured anti-poisoning defenses on that
+    fraction of ASes (tier-biased, seed-derived; see
+    :func:`~repro.topology.generate.assign_defense_configs`).
     """
     # Deferred: runner.baseline reaches back into this module.
     from repro.runner.baseline import ORIGIN_ASN_EVEN, converged_internet
@@ -103,6 +108,7 @@ def build_deployment(
         engine_config=engine_config or EngineConfig(seed=seed),
         origin_providers=num_providers,
         origin_asn_policy=ORIGIN_ASN_EVEN,
+        defense_rate=defense_rate,
         mode=baseline_mode,
         cache=cache,
         stats=stats,
