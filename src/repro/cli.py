@@ -114,6 +114,13 @@ def _cmd_efficacy(args: argparse.Namespace) -> int:
     table.add_row("cases", len(study.outcomes))
     table.add_row("fraction with alternates",
                   study.fraction_with_alternates)
+    table.add_row("users modeled (gravity)", study.users_total)
+    table.add_row("user-weighted alternates fraction",
+                  study.user_weighted_fraction)
+    table.add_note(
+        "user weighting: each case weighted by the gravity-model "
+        "population behind its source stub"
+    )
     table.emit()
     return 0
 
@@ -266,7 +273,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "Chaos: repair under infrastructure faults",
         ["intensity", "injected", "detected", "repaired", "unpoisoned",
          "false poisons", "deferrals", "rollbacks", "breaker opens",
-         "crashes", "recovered", "fault events"],
+         "crashes", "recovered", "fault events", "peak users out",
+         "user-min lost"],
     )
     for point in study.points:
         table.add_row(
@@ -282,6 +290,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             point.controller_crashes,
             point.recovered_records,
             point.stats.total_events if point.stats else 0,
+            point.peak_users_affected,
+            f"{point.affected_user_minutes:.0f}",
         )
     table.add_note(
         "faults hit LIFEGUARD's own probes, vantage points, BGP sessions "
@@ -320,6 +330,11 @@ def defense_summary(study) -> dict:
             "controller_crashes": point.controller_crashes,
             "recovered_records": point.recovered_records,
             "mean_time_to_repair": point.mean_time_to_repair,
+            "users_total": point.users_total,
+            "peak_users_affected": point.peak_users_affected,
+            "affected_user_minutes": round(
+                point.affected_user_minutes, 6
+            ),
         })
     return {"points": points, "abandoned_total": study.abandoned_total}
 
@@ -356,7 +371,8 @@ def _cmd_defenses(args: argparse.Namespace) -> int:
         "Defenses: repair vs anti-poisoning deployment rate",
         ["rate", "ladder", "injected", "detected", "repaired",
          "via ladder", "escalations", "rollbacks", "breaker opens",
-         "abandoned", "crashes", "recovered", "mean TTR (s)"],
+         "abandoned", "crashes", "recovered", "mean TTR (s)",
+         "peak users out", "user-min lost"],
     )
     for point in study.points:
         ttr = point.mean_time_to_repair
@@ -374,6 +390,8 @@ def _cmd_defenses(args: argparse.Namespace) -> int:
             point.controller_crashes,
             point.recovered_records,
             "-" if ttr is None else f"{ttr:.0f}",
+            point.peak_users_affected,
+            f"{point.affected_user_minutes:.0f}",
         )
     table.add_note(
         "defenses: poisoned-path filters, reserved-ASN rejection, "
@@ -489,6 +507,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "deferred", "timeouts", "backpressure", "crashes",
         "tier_transitions", "final_tier", "ttr_p50", "ttr_p95",
         "ttr_p99", "journal_entries", "journal_rotations", "drained",
+        "users_total", "users_affected", "peak_users_affected",
+        "affected_user_minutes",
     ):
         table.add_row(name, blob[name])
     table.add_note(f"event digest {report.digest[:16]}…")
@@ -509,6 +529,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_impact(args: argparse.Namespace) -> int:
+    """User-impact study: affected-user-minutes through one repair.
+
+    With ``--check`` (the CI smoke mode) the exit code is the
+    assertion: nonzero affected-user-minutes must accrue before the
+    repair lands, and the affected-user count must decrease
+    monotonically to zero once it does.
+    """
+    from repro.experiments.impact import run_impact_study
+    from repro.runner.stats import RunStats
+    from repro.traffic.matrix import TrafficConfig
+
+    stats = RunStats()
+    traffic = TrafficConfig.from_env()
+    if args.users is not None:
+        traffic.total_users = args.users
+    study, _matrix = run_impact_study(
+        scale=args.scale,
+        seed=args.seed,
+        traffic=traffic,
+        cache=args.cache_dir,
+        stats=stats,
+    )
+    _write_metrics(args, stats)
+    table = Table(
+        f"User impact of one repair ({args.scale}, seed {args.seed})",
+        ["metric", "value"],
+    )
+    table.add_row("users modeled (gravity)", study.users_total)
+    table.add_row("flows", study.flows)
+    table.add_row("baseline unroutable flows", study.baseline_unroutable)
+    table.add_row("failed AS", f"AS{study.bad_asn}")
+    table.add_row("outage window (s)",
+                  f"{study.fail_start:g}-{study.fail_end:g}")
+    table.add_row("repair landed at (s)", study.repair_time)
+    table.add_row("peak users affected", study.peak_users_affected)
+    table.add_row("user-minutes before repair",
+                  f"{study.user_minutes_before_repair:.0f}")
+    table.add_row("user-minutes total",
+                  f"{study.affected_user_minutes:.0f}")
+    table.add_row("users affected at end", study.final_affected_users)
+    table.add_note(
+        "affected-user-minutes: integral of users behind the outage "
+        "over sim time, AS-level forwarding walked per flow"
+    )
+    table.emit()
+    if args.check:
+        failures = []
+        if not study.nonzero_before_repair():
+            failures.append(
+                "no affected-user-minutes accrued before the repair"
+            )
+        if not study.monotone_after_repair():
+            failures.append(
+                "affected users did not decrease monotonically after "
+                "the repair"
+            )
+        if study.final_affected_users:
+            failures.append(
+                f"{study.final_affected_users} user(s) still affected "
+                f"at run end"
+            )
+        for failure in failures:
+            print(f"impact check failed: {failure}", file=sys.stderr)
+        if failures:
+            return 1
     return 0
 
 
@@ -818,6 +907,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(p)
     p.set_defaults(func=_cmd_serve)
+    p = sub.add_parser(
+        "impact",
+        help="affected-user-minutes through one outage-and-repair "
+             "cycle (gravity-model traffic matrix over the stub ASes)",
+    )
+    p.add_argument("--scale", default="tiny")
+    p.add_argument(
+        "--users", type=int, default=None,
+        help="total modeled users (default $REPRO_TRAFFIC_USERS, "
+             "else 1000000)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless impact accrues before the repair and "
+             "decreases monotonically to zero after it (CI smoke)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="topology/convergence cache directory "
+             "(default: $REPRO_CACHE_DIR, unset = no cache)",
+    )
+    _add_metrics_out(p)
+    p.set_defaults(func=_cmd_impact)
     p = sub.add_parser(
         "bench",
         help="run the benchmark suite and write BENCH_<date>.json",

@@ -31,6 +31,10 @@ class FibSnapshot:
     tables: Dict[int, PrefixTrie] = field(default_factory=dict)
     #: prefix -> originating asn, for host-attachment decisions.
     origins: Dict[Prefix, int] = field(default_factory=dict)
+    #: Lazily built LPM index over ``origins`` (origin_for is per-probe).
+    _origin_trie: Optional[PrefixTrie] = field(
+        default=None, repr=False, compare=False
+    )
 
     def next_hop_as(
         self, asn: int, destination: Union[int, str, Address]
@@ -44,16 +48,21 @@ class FibSnapshot:
     def origin_for(
         self, destination: Union[int, str, Address]
     ) -> Optional[int]:
-        """The AS hosting *destination*, per most-specific originated prefix."""
-        best: Optional[Prefix] = None
-        owner: Optional[int] = None
-        address = Address(destination)
-        for prefix, asn in self.origins.items():
-            if address in prefix and (
-                best is None or prefix.length > best.length
-            ):
-                best, owner = prefix, asn
-        return owner
+        """The AS hosting *destination*, per most-specific originated prefix.
+
+        Resolved by an LPM lookup against a trie built once per snapshot:
+        this runs per probe, and the old linear scan over
+        ``origins.items()`` was O(prefixes) per call.  The index is
+        rebuilt if entries were added after the first lookup; snapshots
+        are otherwise frozen once ``build_fibs`` returns.
+        """
+        trie = self._origin_trie
+        if trie is None or len(trie) != len(self.origins):
+            trie = PrefixTrie()
+            for prefix, asn in self.origins.items():
+                trie[prefix] = asn
+            self._origin_trie = trie
+        return trie.lookup_value(Address(destination))
 
 
 def build_fibs(engine: BGPEngine) -> FibSnapshot:

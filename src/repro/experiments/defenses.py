@@ -44,6 +44,8 @@ from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.runner.cache import DiskCache, resolve_cache
 from repro.runner.core import run_trials
 from repro.runner.stats import RunStats
+from repro.traffic.impact import ImpactLedger
+from repro.traffic.matrix import build_traffic_matrix
 from repro.workloads.outages import generate_outage_schedule
 from repro.workloads.scenarios import build_deployment
 
@@ -99,6 +101,13 @@ class DefensePoint:
     recovered_records: int = 0
     #: verified_time - outage start, per verified repair of a true AS.
     repair_times: List[float] = field(default_factory=list)
+    #: gravity-model users behind the deployment's stub ASes.
+    users_total: int = 0
+    #: most users simultaneously stranded at any sample.
+    peak_users_affected: int = 0
+    #: integrated user impact across the whole cell (minutes) — the
+    #: user-facing cost of repairs the defenses filtered away.
+    affected_user_minutes: float = 0.0
 
     @property
     def injected(self) -> int:
@@ -191,6 +200,14 @@ def _run_point(
     lifeguard.prime_atlas(now=0.0)
     point = DefensePoint(rate=rate, ladder=ladder)
 
+    # User-impact accounting, harness-owned so it survives the
+    # controller crash: defended cells that lose repairs show up here as
+    # extra affected-user-minutes, not just missing repair counts.
+    matrix = build_traffic_matrix(scenario.graph, seed=seed)
+    ledger = ImpactLedger(matrix)
+    ledger.prime(lifeguard.dataplane.fibs)
+    point.users_total = matrix.total_users
+
     schedule = generate_outage_schedule(
         num_outages, DEFENSE_ARRIVALS, seed=seed
     )
@@ -225,10 +242,13 @@ def _run_point(
     now = 30.0
     down_until: Optional[float] = None
     survivors = None  # (journal, config, ground-truth failures)
+    last_fibs = lifeguard.dataplane.fibs
+    failures = lifeguard.dataplane.failures
     while now <= end:
         if lifeguard is None:
             if now < down_until:
                 scenario.engine.advance_to(now)
+                ledger.observe(now, last_fibs, failures)
                 now += interval
                 continue
             lifeguard = _recover_controller(
@@ -248,6 +268,8 @@ def _run_point(
             point.controller_crashes += 1
             continue
         lifeguard.tick(now)
+        last_fibs = lifeguard.dataplane.fibs
+        ledger.observe(now, last_fibs, failures)
         now += interval
     if lifeguard is None:
         lifeguard = _recover_controller(
@@ -286,6 +308,8 @@ def _run_point(
         for note in record.notes:
             if "circuit breaker open" in note:
                 point.breaker_opens += 1
+    point.peak_users_affected = ledger.peak_affected
+    point.affected_user_minutes = ledger.user_minutes
     return point
 
 

@@ -37,6 +37,8 @@ from repro.runner.cache import DiskCache, resolve_cache
 from repro.runner.core import run_trials
 from repro.runner.stats import RunStats
 from repro.splice.reachability import reachable_set_avoiding
+from repro.traffic.impact import ImpactLedger
+from repro.traffic.matrix import build_traffic_matrix
 from repro.workloads.outages import (
     OutageArrivalConfig,
     generate_outage_schedule,
@@ -98,6 +100,12 @@ class RobustnessPoint:
     recovered_records: int = 0
     #: what the injector actually did during the run.
     stats: Optional[FaultStats] = None
+    #: gravity-model users behind the deployment's stub ASes.
+    users_total: int = 0
+    #: most users simultaneously stranded at any sample.
+    peak_users_affected: int = 0
+    #: integrated user impact across the whole point (minutes).
+    affected_user_minutes: float = 0.0
 
     @property
     def injected(self) -> int:
@@ -212,6 +220,16 @@ def _run_point(
     lifeguard.prime_atlas(now=0.0)
     point = RobustnessPoint(intensity=intensity, stats=injector.stats)
 
+    # User-impact accounting: a gravity-model matrix over the point's
+    # stub ASes, integrated against the live FIBs at every tick.  The
+    # ledger lives in the harness, so it keeps counting stranded users
+    # even while a crashed controller is down (nobody repairs, users
+    # still suffer).
+    matrix = build_traffic_matrix(scenario.graph, seed=seed)
+    ledger = ImpactLedger(matrix)
+    ledger.prime(lifeguard.dataplane.fibs)
+    point.users_total = matrix.total_users
+
     true_asns = set()
     schedule = generate_outage_schedule(
         num_outages, ROBUSTNESS_ARRIVALS, seed=seed
@@ -251,12 +269,17 @@ def _run_point(
     now = 30.0
     down_until: Optional[float] = None
     survivors = None  # (journal, config, ground-truth failures)
+    # Routers keep forwarding with their last-installed FIBs even while
+    # the controller is down, so the ledger samples against this.
+    last_fibs = lifeguard.dataplane.fibs
+    failures = lifeguard.dataplane.failures
     while now <= end:
         if lifeguard is None:
             # Controller dead: the network keeps evolving, repairs stay
             # announced, outages keep aging — nobody is watching.
             if now < down_until:
                 scenario.engine.advance_to(now)
+                ledger.observe(now, last_fibs, failures)
                 now += interval
                 continue
             lifeguard = _recover_controller(
@@ -279,6 +302,8 @@ def _run_point(
             point.controller_crashes += 1
             continue
         lifeguard.tick(now)
+        last_fibs = lifeguard.dataplane.fibs
+        ledger.observe(now, last_fibs, failures)
         now += interval
     if lifeguard is None:
         # The run ended inside the outage window: restart anyway so the
@@ -315,6 +340,8 @@ def _run_point(
                 point.retry_exhausted += 1
             if "circuit breaker open" in note:
                 point.breaker_opens += 1
+    point.peak_users_affected = ledger.peak_affected
+    point.affected_user_minutes = ledger.user_minutes
     return point
 
 

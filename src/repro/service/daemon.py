@@ -39,6 +39,8 @@ from repro.service.admission import (
 )
 from repro.service.queues import Stage, StageQueue
 from repro.splice.reachability import reachable_set_avoiding
+from repro.traffic.impact import ImpactLedger
+from repro.traffic.matrix import TrafficConfig, build_traffic_matrix
 from repro.workloads.outages import (
     OutageArrivalConfig,
     ScheduledOutage,
@@ -92,6 +94,9 @@ class ServiceConfig:
     crash_at: Optional[float] = None
     #: ... and recover it from the journal after this long down.
     crash_downtime: float = 300.0
+    #: gravity-model traffic knobs (users, fan-out); None reads
+    #: $REPRO_TRAFFIC_USERS / $REPRO_TRAFFIC_DESTS defaults.
+    traffic: Optional[TrafficConfig] = None
 
 
 @dataclass
@@ -122,6 +127,14 @@ class ServiceReport:
     journal_entries: int
     journal_rotations: int
     drained: bool
+    #: gravity-model users behind the deployment — the SLO denominator.
+    users_total: int = 0
+    #: users behind an unrepaired outage at run end (should be 0).
+    users_affected: int = 0
+    #: most users simultaneously stranded at any round.
+    peak_users_affected: int = 0
+    #: integrated user impact over the whole run (minutes).
+    affected_user_minutes: float = 0.0
     digest: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -150,6 +163,12 @@ class ServiceReport:
             "journal_entries": self.journal_entries,
             "journal_rotations": self.journal_rotations,
             "drained": self.drained,
+            "users_total": self.users_total,
+            "users_affected": self.users_affected,
+            "peak_users_affected": self.peak_users_affected,
+            "affected_user_minutes": round(
+                self.affected_user_minutes, 6
+            ),
             "digest": self.digest,
         }
 
@@ -260,6 +279,20 @@ class LifeguardService:
         self._crashed = False
         self._started = False
         self._drained = True
+        #: user-impact accounting: the matrix is a pure function of
+        #: (graph, seed, traffic config), so recovery rebuilds it and
+        #: restores only the accumulators from the journal.
+        self.traffic_config = (
+            self.config.traffic or TrafficConfig.from_env()
+        )
+        self.ledger = ImpactLedger(self._build_matrix())
+
+    def _build_matrix(self):
+        return build_traffic_matrix(
+            self.scenario.graph,
+            seed=self.config.seed,
+            config=self.traffic_config,
+        )
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -329,6 +362,28 @@ class LifeguardService:
             targets=[[t, a] for t, a in plan],
             monitored_pairs=self.monitored_pairs,
         )
+        # Fix the impact baseline against the pristine FIBs and journal
+        # it: post-crash FIBs carry poisons, so the baseline must be
+        # replayed, never recomputed.
+        unroutable = self.ledger.prime(self.lifeguard.dataplane.fibs)
+        self.journal.append(
+            "traffic-plan",
+            0.0,
+            flows=len(self.ledger.matrix.flows),
+            users=self.ledger.matrix.total_users,
+            digest=self.ledger.matrix.digest(),
+            baseline_unroutable=list(
+                self.ledger.state_json()["baseline_unroutable"]
+            ),
+        )
+        self._emit(
+            "traffic.plan",
+            0.0,
+            flows=len(self.ledger.matrix.flows),
+            users=self.ledger.matrix.total_users,
+            unroutable=unroutable,
+        )
+        self._gauge("traffic.users_total", self.ledger.matrix.total_users)
         self._probes_prev = self.lifeguard.prober.probes_sent
         self._started = True
 
@@ -344,7 +399,38 @@ class LifeguardService:
         shed, deferred = self._admit(now)
         processed = self._process_stages(now, tier)
         self._harvest_ttr(now)
+        self._sample_impact(now)
         self._publish(now, tier, shed, deferred, timeouts, processed)
+
+    def _sample_impact(self, now: float) -> None:
+        """Integrate affected-user-minutes against the live FIBs.
+
+        Journaled write-ahead every round (cumulative accumulators, so
+        the latest entry alone restores the ledger after a crash) and
+        published as the service's SLO denominator: users behind an
+        outage over users modeled."""
+        sample = self.ledger.observe(
+            now,
+            self.lifeguard.dataplane.fibs,
+            self.lifeguard.dataplane.failures,
+        )
+        state = self.ledger.state_json()
+        state.pop("baseline_unroutable")  # journaled once in the plan
+        self.journal.append("traffic-sample", now, **state)
+        self._gauge("service.users_behind_outage", sample.affected_users)
+        self._gauge("traffic.users_affected", sample.affected_users)
+        self._gauge(
+            "traffic.affected_user_minutes",
+            round(self.ledger.user_minutes, 6),
+        )
+        self._emit(
+            "traffic.impact",
+            now,
+            affected=sample.affected_users,
+            delivered=sample.delivered_users,
+            outages=len(sample.by_key),
+            user_minutes=round(self.ledger.user_minutes, 6),
+        )
 
     def _inject_due_arrivals(self, now: float) -> None:
         if not self.plan:
@@ -687,7 +773,10 @@ class LifeguardService:
     def _restore_from_journal(
         self, journal: RepairJournal, now: float
     ) -> None:
-        """Service-level state: plan, cursor, tier, queues, TTR."""
+        """Service-level state: plan, cursor, tier, queues, TTR,
+        impact-ledger accumulators."""
+        traffic_plan = None
+        traffic_sample = None
         for entry in journal.entries:
             if entry["event"] == "service-plan":
                 self.plan = [
@@ -695,6 +784,20 @@ class LifeguardService:
                 ]
             elif entry["event"] == "service-tier":
                 self.admission.restore(ServiceTier(entry["tier"]))
+            elif entry["event"] == "traffic-plan":
+                traffic_plan = entry
+            elif entry["event"] == "traffic-sample":
+                traffic_sample = entry
+        # The matrix is deterministic from (graph, seed, config); only
+        # the accumulators and the pristine-FIB baseline are replayed.
+        self.ledger = ImpactLedger(self._build_matrix())
+        blob = dict(traffic_sample) if traffic_sample else {}
+        blob.pop("event", None)
+        if traffic_plan is not None:
+            blob["baseline_unroutable"] = traffic_plan[
+                "baseline_unroutable"
+            ]
+            self.ledger.restore_state(blob)
         self.cursor = journal.count_of("service-arrival")
         for entry in journal.of_event("service-arrival"):
             self._last_outage_end = max(
@@ -821,5 +924,9 @@ class LifeguardService:
             journal_entries=len(self.journal),
             journal_rotations=self.journal.rotations,
             drained=self._drained,
+            users_total=self.ledger.matrix.total_users,
+            users_affected=self.ledger.affected_users,
+            peak_users_affected=self.ledger.peak_affected,
+            affected_user_minutes=self.ledger.user_minutes,
             digest=self.obs.digest() if self.obs is not None else None,
         )

@@ -1,0 +1,208 @@
+"""The compiled flat LPM is byte-identical to the PrefixTrie.
+
+The flat table is the traffic layer's hot path, so its contract is
+strict: for every address, ``FlatLPM.resolve`` (and the batch
+``resolve_many``, with or without the numpy fast path) returns exactly
+what ``PrefixTrie.lookup_value`` would.  The fuzz test sweeps random
+laminar-by-construction tries and checks every interval boundary, where
+off-by-one bugs live; a dedicated regression pins the ``0.0.0.0/0``
+default-route entry that ``default_route_via_provider`` stubs install,
+which exercises the table's outermost interval at both address-space
+ends.  The ``origin_for`` tests cover the satellite fix replacing the
+per-probe linear scan over ``FibSnapshot.origins`` with a cached trie.
+"""
+
+import random
+
+import pytest
+
+from repro.bgp.engine import BGPEngine
+from repro.bgp.messages import make_path
+from repro.bgp.policy import SpeakerConfig
+from repro.dataplane.fib import DEFAULT_PREFIX, LOCAL, build_fibs
+from repro.net.addr import Prefix
+from repro.net.trie import PrefixTrie
+from repro.topology.as_graph import ASGraph
+from repro.topology.relationships import Relationship
+from repro.traffic.lpm import FlatFibSet, FlatLPM
+
+_SPACE = 1 << 32
+
+P = Prefix("10.100.0.0/16")
+
+
+def _mask(length):
+    return ((1 << length) - 1) << (32 - length) if length else 0
+
+
+def _random_trie(rng, entries):
+    trie = PrefixTrie()
+    for _ in range(entries):
+        length = rng.randint(0, 32)
+        base = rng.getrandbits(32) & _mask(length)
+        trie[Prefix(base, length)] = rng.randint(-1, 500)
+    return trie
+
+
+def _boundary_addresses(trie):
+    """Every interval edge: starts, ends, and their off-by-one shadows."""
+    out = {0, _SPACE - 1}
+    for prefix, _value in trie.items():
+        start = prefix.base
+        end = start + prefix.num_addresses
+        for a in (start - 1, start, end - 1, end):
+            if 0 <= a < _SPACE:
+                out.add(a)
+    return sorted(out)
+
+
+class TestFlatLPMFuzz:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_trie_at_every_boundary(self, seed):
+        rng = random.Random(seed)
+        trie = _random_trie(rng, entries=rng.randint(1, 60))
+        flat = FlatLPM.compile(trie)
+        addrs = _boundary_addresses(trie)
+        addrs += [rng.getrandbits(32) for _ in range(64)]
+        expected = [trie.lookup_value(a) for a in addrs]
+        assert [flat.resolve(a) for a in addrs] == expected
+        assert flat.resolve_many(addrs) == expected
+
+    @pytest.mark.parametrize("numpy_flag", ["0", "1"])
+    def test_numpy_and_bisect_paths_agree(self, numpy_flag, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAFFIC_NUMPY", numpy_flag)
+        rng = random.Random(99)
+        trie = _random_trie(rng, entries=40)
+        flat = FlatLPM.compile(trie)
+        # Well past the >=32 batch threshold that arms the numpy path.
+        addrs = _boundary_addresses(trie)[:40] or [0]
+        addrs = addrs * 3
+        assert flat.resolve_many(addrs) == [
+            trie.lookup_value(a) for a in addrs
+        ]
+
+    def test_empty_trie_resolves_none_everywhere(self):
+        flat = FlatLPM.compile(PrefixTrie())
+        assert flat.resolve(0) is None
+        assert flat.resolve(_SPACE - 1) is None
+        assert len(flat) == 0
+
+    def test_intervals_cover_the_space_in_order(self):
+        rng = random.Random(5)
+        flat = FlatLPM.compile(_random_trie(rng, entries=30))
+        bases = [b for b, _ in flat.intervals()]
+        assert bases[0] == 0
+        assert bases == sorted(bases)
+        assert len(set(bases)) == len(bases)
+
+
+class TestDefaultRouteBoundary:
+    """The 0.0.0.0/0 entry is the table's outermost interval."""
+
+    def _default_routed_fibs(self):
+        # O(1) and the stub S(3) both buy transit from 2; S
+        # default-routes, and the origin poisons S so S's BGP route
+        # for P disappears — only the /0 keeps its packets flowing.
+        g = ASGraph()
+        g.add_as(1, tier=3)
+        g.add_as(2, tier=2)
+        g.add_as(3, tier=3)
+        g.assign_prefix(1, P)
+        g.assign_prefix(2, Prefix("10.102.0.0/16"))
+        g.assign_prefix(3, Prefix("10.103.0.0/16"))
+        g.add_link(1, 2, Relationship.PROVIDER)
+        g.add_link(3, 2, Relationship.PROVIDER)
+        engine = BGPEngine(
+            g,
+            speaker_configs={
+                3: SpeakerConfig(default_route_via_provider=True)
+            },
+        )
+        engine.originate(1, P, path=make_path(1, prepend=2, poison=[3]))
+        engine.originate(2, Prefix("10.102.0.0/16"))
+        engine.originate(3, Prefix("10.103.0.0/16"))
+        engine.run()
+        return build_fibs(engine)
+
+    def test_flat_table_honours_the_default_entry(self):
+        fibs = self._default_routed_fibs()
+        trie = fibs.tables[3]
+        assert trie.exact(DEFAULT_PREFIX) == 2
+        flat = FlatLPM.compile(trie)
+        # The poisoned prefix falls through to the provider default...
+        assert flat.resolve(P.address(1)) == 2
+        # ...as do both extreme ends of the address space.
+        assert flat.resolve(0) == 2
+        assert flat.resolve(_SPACE - 1) == 2
+        # More-specific entries still win over the /0.
+        assert flat.resolve(Prefix("10.103.0.0/16").address(1)) == LOCAL
+        assert flat.resolve(Prefix("10.102.0.0/16").address(1)) == 2
+
+    def test_flat_table_matches_trie_everywhere(self):
+        fibs = self._default_routed_fibs()
+        trie = fibs.tables[3]
+        flat = FlatLPM.compile(trie)
+        addrs = _boundary_addresses(trie)
+        assert flat.resolve_many(addrs) == [
+            trie.lookup_value(a) for a in addrs
+        ]
+
+
+class TestFlatFibSet:
+    def test_tables_memoised_per_snapshot(self):
+        fibs = TestDefaultRouteBoundary()._default_routed_fibs()
+        fibset = FlatFibSet(fibs)
+        assert fibset.table(3) is fibset.table(3)
+        assert fibset.table(999) is None
+        assert fibset.resolve(999, 0) is None
+        assert fibset.resolve_many(999, [0, 1]) == [None, None]
+
+    def test_attach_invalidates_compiled_tables(self):
+        builder = TestDefaultRouteBoundary()
+        first = builder._default_routed_fibs()
+        second = builder._default_routed_fibs()
+        fibset = FlatFibSet(first)
+        table = fibset.table(3)
+        fibset.attach(first)  # same snapshot: cache kept
+        assert fibset.table(3) is table
+        fibset.attach(second)  # new snapshot: recompiled
+        assert fibset.table(3) is not table
+
+    def test_resolve_matches_snapshot_next_hop(self):
+        fibs = TestDefaultRouteBoundary()._default_routed_fibs()
+        fibset = FlatFibSet(fibs)
+        addr = P.address(7)
+        for asn in fibs.tables:
+            assert fibset.resolve(asn, addr) == fibs.next_hop_as(
+                asn, addr
+            )
+
+
+class TestOriginForIndex:
+    """The satellite fix: origin_for is an LPM lookup, not a scan."""
+
+    def test_matches_linear_scan(self, small_internet):
+        _graph, _topo, engine = small_internet
+        fibs = build_fibs(engine)
+        probes = []
+        for prefix in fibs.origins:
+            probes.append(prefix.address(0))
+            if prefix.num_addresses > 1:
+                probes.append(prefix.address(1))
+        probes.append(0)  # covered by no originated prefix
+        for addr in probes:
+            best = None
+            for prefix, asn in fibs.origins.items():
+                if addr in prefix and (
+                    best is None or prefix.length > best[0]
+                ):
+                    best = (prefix.length, asn)
+            assert fibs.origin_for(addr) == (best[1] if best else None)
+
+    def test_index_rebuilt_when_origins_grow(self, small_internet):
+        _graph, _topo, engine = small_internet
+        fibs = build_fibs(engine)
+        probe = Prefix("203.0.113.0/24")
+        assert fibs.origin_for(probe.address(1)) is None
+        fibs.origins[probe] = 64500
+        assert fibs.origin_for(probe.address(1)) == 64500
