@@ -1,0 +1,439 @@
+"""Incremental convergence: blast-radius delta recomputation.
+
+Every LIFEGUARD repair step — poison, unpoison, verification replay,
+service round — perturbs the origination config of a handful of prefixes
+while the rest of the converged Internet is untouched.  Yet the event
+engine replays the whole message storm, O(V + E) wall work per step.
+Under pure Gao-Rexford policy a routing change can only affect the
+*dirty cone*: the set of ASes reachable from the change site under
+valley-free export.  This module recomputes exactly that.
+
+**Dirty-cone computation.**  A change set (re-origination, withdrawal,
+session reset) is collapsed to a per-prefix "last config wins" map,
+exactly like sequential ``engine.originate`` calls.  For each dirty
+prefix the analytic per-prefix solver (:func:`repro.bgp.solver
+.solve_prefix`) re-runs its three-phase propagation; the propagation
+itself only ever visits ASes that can hear the prefix, so the solve *is*
+the cone traversal — no separate reachability pass, and its cost is
+O(blast radius), not O(topology).  Clean prefixes are never touched.
+
+**Splice-back invariant.**  The engine tracks the
+:class:`~repro.bgp.solver.PrefixSolution` behind every prefix while its
+state is *analytic* (installed by ``warm_start`` or this module, never
+perturbed by event-path activity).  Splicing removes exactly the old
+solution's rows — Adj-RIB-In and Loc-RIB entries at the old cone's
+receivers, wire state on the old ``sent`` sessions — and installs the
+new solution the same way ``warm_start`` would, so the resulting engine
+state is byte-identical (``fuzz.diff.canonical_blob`` of
+``capture_state``) to a cold full re-run of the solver on the new
+origination set.  The equality is pinned three ways: the post-poison /
+post-unpoison sweeps in ``tests/test_bgp_solver.py``, the dedicated
+cycle tests in ``tests/test_bgp_delta.py``, and a third differential arm
+in the fuzz executor.
+
+**The gate.**  Like the solver, the delta path refuses anything it
+cannot model exactly — event-perturbed engines (stale Adj-RIB-In
+artifacts from message crossing make splice bounds unsound), attached
+fault hooks (faults need transmitted messages), avoid-hints/communities,
+MOAS, non-default policy.  :func:`try_apply_delta` turns a refusal into
+an accounted fallback (``solver.delta.fallbacks``) so callers simply
+take the event path.
+
+A clean session reset is modelled as a routing no-op: Gao-Rexford
+convergence is unique, so with no message faults the event engine
+returns to the pre-reset fixpoint and re-advertises exactly the analytic
+wire state (the fuzz arm exercises this equivalence on every ``reset``
+action).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.rib import Route
+from repro.bgp.solver import (
+    Origination,
+    PrefixSolution,
+    build_adjacency,
+    gate_reason_slug,
+    solve_prefix,
+    speaker_config_reason,
+)
+from repro.errors import ControlError, SimulationError
+from repro.net.addr import Prefix
+
+#: Environment knob: default delta mode where a caller passes None.
+ENV_DELTA_MODE = "REPRO_DELTA_MODE"
+
+DELTA_OFF = "off"
+DELTA_AUTO = "auto"
+_DELTA_MODES = (DELTA_OFF, DELTA_AUTO)
+
+#: Per-engine solution memo bound; a repair ladder cycles through a
+#: handful of announcement shapes, so the memo is cleared wholesale on
+#: overflow rather than tracking recency.
+_SOLUTION_MEMO_CAP = 64
+
+
+class DeltaUnsupported(SimulationError):
+    """The change set has a feature the delta path cannot model."""
+
+
+def resolve_delta_mode(mode: Optional[str] = None) -> str:
+    """*mode*, or ``$REPRO_DELTA_MODE``, or ``off``."""
+    resolved = mode or os.environ.get(ENV_DELTA_MODE) or DELTA_OFF
+    if resolved not in _DELTA_MODES:
+        raise ControlError(
+            f"unknown delta mode {resolved!r}; pick from {_DELTA_MODES}"
+        )
+    return resolved
+
+
+@dataclass(frozen=True)
+class DeltaChange:
+    """One element of a change set.
+
+    ``kind`` is ``originate`` (re-announce ``origination``), ``withdraw``
+    (AS ``asn`` stops originating ``prefix``) or ``reset`` (bounce the
+    ``asn``/``peer`` session).  ``communities``/``avoid`` are carried
+    only so the gate can refuse them — the analytic model has no
+    announcement attributes.
+    """
+
+    kind: str
+    origination: Optional[Origination] = None
+    asn: int = 0
+    prefix: Optional[Prefix] = None
+    peer: int = 0
+    communities: Tuple = ()
+    avoid: frozenset = frozenset()
+
+    @staticmethod
+    def originate(
+        asn: int,
+        prefix: Prefix,
+        path=None,
+        per_neighbor=None,
+        med: int = 0,
+        communities=(),
+        avoid=(),
+    ) -> "DeltaChange":
+        return DeltaChange(
+            kind="originate",
+            origination=Origination.make(
+                asn, prefix, path=path, per_neighbor=per_neighbor, med=med
+            ),
+            asn=asn,
+            prefix=prefix,
+            communities=tuple(communities),
+            avoid=frozenset(avoid),
+        )
+
+    @staticmethod
+    def withdraw(asn: int, prefix: Prefix) -> "DeltaChange":
+        return DeltaChange(kind="withdraw", asn=asn, prefix=prefix)
+
+    @staticmethod
+    def reset(asn: int, peer: int) -> "DeltaChange":
+        return DeltaChange(kind="reset", asn=asn, peer=peer)
+
+
+@dataclass
+class DeltaResult:
+    """What one :func:`apply_delta` call touched."""
+
+    #: prefixes whose state was re-derived, in application order.
+    dirty_prefixes: List[Prefix] = field(default_factory=list)
+    #: union of ASes whose per-prefix state was removed or installed.
+    cone_asns: Set[int] = field(default_factory=set)
+    #: ASes whose forwarding next hop actually changed (⊆ cone).
+    rerouted_asns: Set[int] = field(default_factory=set)
+    #: session resets absorbed as fixpoint no-ops.
+    resets: int = 0
+    #: dirty prefixes whose solution came from the per-engine memo.
+    solve_cache_hits: int = 0
+    solve_seconds: float = 0.0
+    splice_seconds: float = 0.0
+
+    @property
+    def cone_size(self) -> int:
+        return len(self.cone_asns)
+
+
+def delta_unsupported_reason(
+    engine, changes: Sequence[DeltaChange]
+) -> Optional[str]:
+    """Why *changes* cannot be delta-applied to *engine* (None: they can).
+
+    Mirrors :func:`~repro.bgp.solver.solver_unsupported_reason` but for
+    a perturbation of an already-analytic engine; reasons share the
+    solver's slug table (:func:`~repro.bgp.solver.gate_reason_slug`).
+    """
+    analytic = getattr(engine, "_analytic", None)
+    if analytic is None:
+        return (
+            "engine state is not analytic "
+            "(cold start or event-path activity)"
+        )
+    if engine._queue:
+        return "events pending (delta needs a quiescent engine)"
+    if engine.fault_hook is not None:
+        return "fault hook attached (message faults need the event engine)"
+    # Speaker configs are fixed at engine construction, so the config
+    # sweep is cached (the gate runs on every repair announcement).
+    reason = getattr(engine, "_delta_config_reason", False)
+    if reason is False:
+        reason = speaker_config_reason(engine)
+        engine._delta_config_reason = reason
+    if reason is not None:
+        return reason
+    owners: Dict[Prefix, int] = {}
+    for change in changes:
+        if change.kind == "originate":
+            if change.avoid:
+                return "avoid-hint announcements need the event engine"
+            if change.communities:
+                return "communities need the event engine"
+            org = change.origination
+            if org.asn not in engine.speakers:
+                return f"origination from unknown AS{org.asn}"
+            paths = [org.path]
+            if org.per_neighbor is not None:
+                paths.extend(path for _, path in org.per_neighbor)
+            for path in paths:
+                if path is None:
+                    continue
+                if path[0] != org.asn or path[-1] != org.asn:
+                    return (
+                        f"invalid origin path {path} for AS{org.asn} "
+                        "(the event engine raises)"
+                    )
+            if org.prefix in owners:
+                owner = owners[org.prefix]
+            else:
+                existing = analytic.get(org.prefix)
+                owner = (
+                    existing.origination.asn
+                    if existing is not None
+                    else org.asn
+                )
+            if owner != org.asn:
+                return (
+                    f"multiple originations of {org.prefix} "
+                    "(anycast/MOAS needs the event engine)"
+                )
+            owners[org.prefix] = org.asn
+        elif change.kind not in ("withdraw", "reset"):
+            return f"unknown delta change kind {change.kind!r}"
+    return None
+
+
+def apply_delta(
+    engine, changes: Sequence[DeltaChange], stats=None
+) -> DeltaResult:
+    """Splice *changes* into *engine*'s analytic converged state.
+
+    Raises :class:`DeltaUnsupported` when the gate refuses; use
+    :func:`try_apply_delta` for the accounted-fallback variant.  On
+    success the engine is at the exact state a cold
+    ``solve`` + ``warm_start`` of the post-change origination set would
+    produce, with one :class:`~repro.bgp.engine.RouteChange` logged per
+    AS whose Loc-RIB selection changed (sorted per prefix, so the log —
+    and the ``bgp.decision-change`` events behind it — is deterministic).
+    """
+    reason = delta_unsupported_reason(engine, changes)
+    if reason is not None:
+        raise DeltaUnsupported(f"delta recomputation cannot model: {reason}")
+    analytic: Dict[Prefix, PrefixSolution] = engine._analytic
+    adjacency = engine._delta_adjacency
+    if adjacency is None:
+        adjacency = engine._delta_adjacency = build_adjacency(engine)
+    solutions: Dict[Origination, PrefixSolution] = engine._delta_solutions
+
+    # Collapse the batch: the last origination config per prefix wins,
+    # exactly like sequential engine.originate calls; a withdraw only
+    # takes effect when the withdrawing AS currently owns the prefix.
+    dirty: Dict[Prefix, Optional[Origination]] = {}
+    result = DeltaResult()
+    for change in changes:
+        if change.kind == "originate":
+            dirty[change.origination.prefix] = change.origination
+        elif change.kind == "withdraw":
+            if change.prefix in dirty:
+                pending = dirty[change.prefix]
+                owner = pending.asn if pending is not None else None
+            else:
+                solution = analytic.get(change.prefix)
+                owner = solution.origination.asn if solution else None
+            if owner == change.asn:
+                dirty[change.prefix] = None
+        else:  # reset: the unique fixpoint is unchanged by a clean bounce
+            if (change.asn, change.peer) in engine._sessions:
+                result.resets += 1
+                engine.session_resets += 1
+                if engine.obs is not None:
+                    engine.obs.emit(
+                        "bgp.session-reset", engine.now, "bgp.engine",
+                        subject=f"AS{change.asn}<->AS{change.peer}",
+                        as_a=change.asn, as_b=change.peer,
+                    )
+
+    splice_start = perf_counter()
+    phase_seconds = {"up": 0.0, "across": 0.0, "down": 0.0, "install": 0.0}
+    speakers = engine.speakers
+    sessions = engine._sessions
+    for prefix, org in dirty.items():
+        old = analytic.get(prefix)
+        if org is None and old is None:
+            continue
+        if old is not None and org == old.origination:
+            # Idempotent re-announce: the event engine would transmit
+            # nothing and end in value-identical state.
+            continue
+        result.dirty_prefixes.append(prefix)
+
+        # Capture the outgoing state.  ``best`` excludes origin
+        # self-routes (they come from BGPSpeaker.originate), so the
+        # origin's entry is read from the live table before it changes.
+        old_rows = old.adj_in if old is not None else {}
+        old_sent = old.sent if old is not None else {}
+        old_best: Dict[int, Route] = (
+            dict(old.best) if old is not None else {}
+        )
+        origin_asns = set()
+        if old is not None:
+            origin_asns.add(old.origination.asn)
+            origin_self = speakers[old.origination.asn].best(prefix)
+            if origin_self is not None:
+                old_best[old.origination.asn] = origin_self
+
+        # Re-solve the prefix; propagation itself is cone-bounded.
+        new_best: Dict[int, Route] = {}
+        if org is None:
+            speakers[old.origination.asn].stop_originating(prefix)
+            del analytic[prefix]
+            new_rows: Dict[int, Dict[int, Route]] = {}
+            new_sent: Dict[Tuple[int, int], object] = {}
+        else:
+            # A solution is a pure function of (origination, adjacency),
+            # so repair ladders that revisit a config — every unpoison
+            # returns to the baseline, every steer announces the same
+            # shape — splice the memoized solution without re-solving.
+            # Event-path activity clears the memo with the analytic flag.
+            solution = solutions.get(org)
+            if solution is None:
+                t0 = perf_counter()
+                solution = solve_prefix(org, adjacency, phase_seconds)
+                result.solve_seconds += perf_counter() - t0
+                if len(solutions) >= _SOLUTION_MEMO_CAP:
+                    solutions.clear()
+                solutions[org] = solution
+            else:
+                result.solve_cache_hits += 1
+            # State-only origination: updates the origin's spec, its
+            # self-route and its Loc-RIB selection, no session flush.
+            speakers[org.asn].originate(
+                prefix,
+                path=org.path,
+                per_neighbor=org.per_neighbor_dict(),
+                med=org.med,
+            )
+            analytic[prefix] = solution
+            new_rows = solution.adj_in
+            new_sent = solution.sent
+            new_best = dict(solution.best)
+            new_best[org.asn] = speakers[org.asn].best(prefix)
+            origin_asns.add(org.asn)
+
+        # Splice as a diff: rows/pins/wire entries whose old and new
+        # values are equal are left in place — by definition value-
+        # identical to what a cold re-run installs — so the work is
+        # O(actual reroutes), not O(cone).
+        for receiver in old_rows.keys() | new_rows.keys():
+            rows = new_rows.get(receiver)
+            if old_rows.get(receiver) != rows:
+                speakers[receiver].table.replace_rows(prefix, rows)
+        for session_key in old_sent.keys() - new_sent.keys():
+            sessions[session_key].sent.pop(prefix, None)
+        for session_key, announcement in new_sent.items():
+            if old_sent.get(session_key) != announcement:
+                sessions[session_key].sent[prefix] = announcement
+
+        result.cone_asns.update(old_rows)
+        result.cone_asns.update(new_rows)
+        result.cone_asns.update(origin_asns)
+
+        # Pin changed Loc-RIB selections and account them.  Origin ASes
+        # are already pinned by originate/stop_originating's reselect.
+        for asn in sorted(old_best.keys() | new_best.keys()):
+            old_route = old_best.get(asn)
+            new_route = new_best.get(asn)
+            if old_route == new_route:
+                continue
+            if asn not in origin_asns:
+                speakers[asn].table.pin_best(prefix, new_route)
+            old_nh = old_route.neighbor if old_route is not None else None
+            new_nh = new_route.neighbor if new_route is not None else None
+            if old_nh != new_nh:
+                result.rerouted_asns.add(asn)
+            engine._log_change(asn, prefix, old_route, new_route)
+
+    result.splice_seconds = (
+        perf_counter() - splice_start - result.solve_seconds
+    )
+    if stats is not None:
+        stats.count("solver.delta.applied")
+        stats.count("solver.delta.prefixes", len(result.dirty_prefixes))
+        if result.solve_cache_hits:
+            stats.count(
+                "solver.delta.solve_cache_hits", result.solve_cache_hits
+            )
+        stats.add_time("solver.delta.solve", result.solve_seconds)
+        stats.add_time("solver.delta.splice", result.splice_seconds)
+    if engine.obs is not None:
+        engine.obs.emit(
+            "bgp.delta", engine.now, "bgp.engine",
+            subject=f"{len(result.dirty_prefixes)} prefixes",
+            prefixes=len(result.dirty_prefixes),
+            cone=result.cone_size,
+            rerouted=len(result.rerouted_asns),
+            resets=result.resets,
+        )
+        engine.obs.observe(
+            "solver.delta.cone_size", float(result.cone_size)
+        )
+        engine.obs.observe(
+            "solver.delta.splice_seconds", result.splice_seconds
+        )
+    return result
+
+
+def try_apply_delta(
+    engine, changes: Sequence[DeltaChange], stats=None
+) -> Optional[DeltaResult]:
+    """:func:`apply_delta`, or None with fallback accounting.
+
+    A gate refusal emits a ``bgp.delta-fallback`` event (slugged reason)
+    and bumps ``solver.delta.fallbacks`` so dashboards can see how often
+    the full replay path still runs.
+    """
+    reason = delta_unsupported_reason(engine, changes)
+    if reason is None:
+        return apply_delta(engine, changes, stats=stats)
+    slug = gate_reason_slug(reason)
+    if stats is not None:
+        stats.count("solver.delta.fallbacks")
+        stats.count(f"solver.delta.fallback.{slug}")
+    obs = engine.obs
+    if obs is not None:
+        obs.emit(
+            "bgp.delta-fallback", engine.now, "bgp.engine",
+            subject=slug, reason=reason,
+        )
+        metrics = getattr(obs, "metrics", None)
+        if metrics is not None:
+            metrics.counter("solver.delta.fallbacks").inc()
+    return None

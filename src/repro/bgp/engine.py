@@ -115,6 +115,23 @@ class BGPEngine:
         self.session_resets = 0
         #: optional observability bus (duck-typed; see repro.obs.events).
         self.obs = None
+        #: prefix -> PrefixSolution while the state is *analytic*
+        #: (installed by warm_start / apply_delta and not since perturbed
+        #: by event-path activity).  None: the delta path must fall back.
+        self._analytic: Optional[Dict[Prefix, object]] = None
+        #: adjacency index cached for repro.bgp.delta (topology is
+        #: immutable for the engine's lifetime).
+        self._delta_adjacency = None
+        #: cached speaker-config gate verdict for repro.bgp.delta
+        #: (False: not yet computed; configs are fixed at construction).
+        self._delta_config_reason: object = False
+        #: origination -> PrefixSolution memo for repro.bgp.delta
+        #: (solutions are pure in the origination once the topology is
+        #: fixed); cleared with the analytic flag.
+        self._delta_solutions: Dict[object, object] = {}
+        #: ASes whose forwarding next hop changed since the last
+        #: consume_fib_dirty().  None: unknown — rebuild everything.
+        self._fib_dirty: Optional[Set[int]] = None
         speaker_configs = speaker_configs or {}
         for asn in graph.ases():
             neighbor_rels = {
@@ -185,6 +202,7 @@ class BGPEngine:
         *avoid* attaches an AVOID_PROBLEM(X, P) hint (the idealized
         primitive; see :mod:`repro.bgp.messages`).
         """
+        self._invalidate_analytic()
         speaker = self.speakers[asn]
         old_best = speaker.best(prefix)
         speaker.originate(
@@ -198,6 +216,7 @@ class BGPEngine:
 
     def withdraw_origin(self, asn: int, prefix: Prefix) -> None:
         """Stop originating *prefix* at *asn*."""
+        self._invalidate_analytic()
         speaker = self.speakers[asn]
         speaker.stop_originating(prefix)
         self._record_change(asn, prefix)
@@ -215,6 +234,7 @@ class BGPEngine:
         """
         if (as_a, as_b) not in self._sessions:
             return False
+        self._invalidate_analytic()
         for src, dst in ((as_a, as_b), (as_b, as_a)):
             session = self._sessions[(src, dst)]
             session.last_sent_time.clear()
@@ -284,6 +304,8 @@ class BGPEngine:
                 )
             for session_key, announcement in solution.sent.items():
                 sessions[session_key].sent[prefix] = announcement
+        self._analytic = {s.prefix: s for s in result.solutions}
+        self._fib_dirty = None
         if self.obs is not None:
             self.obs.emit(
                 "bgp.warm-start", self.now, "bgp.engine",
@@ -406,6 +428,13 @@ class BGPEngine:
             time=self.now, asn=asn, prefix=prefix, old=old, new=new
         )
         self.change_log.append(change)
+        if self._fib_dirty is not None:
+            old_nh = old.neighbor if old is not None else None
+            new_nh = new.neighbor if new is not None else None
+            if old_nh != new_nh:
+                # Only a next-hop change alters the AS's FIB trie; a
+                # path-only change keeps its interval table valid.
+                self._fib_dirty.add(asn)
         if self.obs is not None:
             self.obs.emit(
                 "bgp.decision-change", self.now, "bgp.engine",
@@ -491,6 +520,46 @@ class BGPEngine:
                 arrival = prior
             floor[(src, dst)] = arrival
             self._push(arrival, ("deliver", src, dst, update))
+
+    # ------------------------------------------------------------------
+    # Incremental convergence (repro.bgp.delta)
+    # ------------------------------------------------------------------
+    def _invalidate_analytic(self) -> None:
+        """Event-path activity: the analytic state map is no longer
+        trustworthy for splicing (crossed messages can leave artifacts the
+        per-prefix solutions do not describe), so the delta gate must
+        refuse until the next warm_start.  The solution memo goes with
+        it: event-path processing mutates Adj-RIB-In row dicts in place,
+        and splicing shares those dicts with memoized solutions."""
+        self._analytic = None
+        self._delta_solutions.clear()
+
+    def consume_fib_dirty(self) -> Optional[Set[int]]:
+        """ASes whose next hop changed since the last call (then reset).
+
+        Returns None when the engine cannot bound the change set (cold
+        start, or state installed wholesale by :meth:`warm_start`) — the
+        caller must rebuild every FIB, after which tracking restarts.
+        """
+        dirty = self._fib_dirty
+        self._fib_dirty = set()
+        return dirty
+
+    def apply_delta(self, changes, stats=None):
+        """Splice a change set into the analytic converged state.
+
+        See :func:`repro.bgp.delta.apply_delta`; raises
+        :class:`~repro.bgp.delta.DeltaUnsupported` when gated.
+        """
+        from repro.bgp.delta import apply_delta
+
+        return apply_delta(self, changes, stats=stats)
+
+    def try_apply_delta(self, changes, stats=None):
+        """:meth:`apply_delta`, or None with fallback accounting."""
+        from repro.bgp.delta import try_apply_delta
+
+        return try_apply_delta(self, changes, stats=stats)
 
     # ------------------------------------------------------------------
     # Introspection helpers

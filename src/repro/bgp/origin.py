@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.bgp.delta import DeltaChange, DeltaResult, resolve_delta_mode
 from repro.bgp.engine import BGPEngine
 from repro.bgp.messages import ASPath, make_path
 from repro.errors import ControlError
@@ -138,6 +139,7 @@ class OriginController:
         prepend: int = 3,
         prepend_extra: int = 3,
         pacer: Optional[AnnouncementPacer] = None,
+        delta_mode: Optional[str] = None,
     ) -> None:
         if origin_asn not in engine.speakers:
             raise ControlError(f"AS{origin_asn} not in the topology")
@@ -175,6 +177,17 @@ class OriginController:
         self.log: List[Tuple[float, str]] = []
         #: optional observability bus (duck-typed; see repro.obs.events).
         self.obs = None
+        #: "auto": route announcements through repro.bgp.delta when the
+        #: engine's state is analytic, falling back (and counting) when
+        #: the gate refuses.  "off" (the default, also via
+        #: $REPRO_DELTA_MODE) always uses the event path.
+        self.delta_mode = resolve_delta_mode(delta_mode)
+        #: optional RunStats sink for solver.delta.* counters.
+        self.stats = None
+        self.delta_applied = 0
+        self.delta_fallbacks = 0
+        self.delta_cone_sizes: List[int] = []
+        self.last_delta: Optional[DeltaResult] = None
 
     # ------------------------------------------------------------------
     # Announcement lifecycle
@@ -187,11 +200,17 @@ class OriginController:
         self._spec.prepend_overrides = {}
         self._apply("baseline")
         if self.sentinel_prefix is not None:
-            self.engine.originate(
-                self.origin_asn,
-                self.sentinel_prefix,
-                path=make_path(self.origin_asn, prepend=self._spec.prepend),
+            sentinel_path = make_path(
+                self.origin_asn, prepend=self._spec.prepend
             )
+            if not self._try_delta_originate(
+                self.sentinel_prefix, sentinel_path
+            ):
+                self.engine.originate(
+                    self.origin_asn,
+                    self.sentinel_prefix,
+                    path=sentinel_path,
+                )
 
     def _ledger_union(self, mode: str) -> Tuple[int, ...]:
         asns = set()
@@ -410,18 +429,52 @@ class OriginController:
             return self._apply_ledger("recover-reconcile")
         return False
 
+    def _try_delta_originate(
+        self,
+        prefix: Prefix,
+        path: Optional[ASPath],
+        per_neighbor: Optional[Dict[int, Optional[ASPath]]] = None,
+        avoid: frozenset = frozenset(),
+    ) -> bool:
+        """Route one (re-)origination through the incremental path.
+
+        Returns True when the delta was spliced (the event path must be
+        skipped); False when delta mode is off or the gate fell back —
+        fallbacks are already counted by
+        :func:`repro.bgp.delta.try_apply_delta`.
+        """
+        if self.delta_mode == "off":
+            return False
+        change = DeltaChange.originate(
+            self.origin_asn, prefix, path=path,
+            per_neighbor=per_neighbor, avoid=avoid,
+        )
+        result = self.engine.try_apply_delta([change], stats=self.stats)
+        if result is None:
+            self.delta_fallbacks += 1
+            return False
+        self.delta_applied += 1
+        self.delta_cone_sizes.append(result.cone_size)
+        self.last_delta = result
+        return True
+
     def _apply(self, description: str) -> None:
         per_neighbor = {
             provider: self._spec.path_for(self.origin_asn, provider)
             for provider in self.providers
         }
-        self.engine.originate(
-            self.origin_asn,
-            self.production_prefix,
-            path=make_path(self.origin_asn, prepend=self._spec.prepend),
-            per_neighbor=per_neighbor,
-            avoid=getattr(self, "_avoid_hint", frozenset()),
-        )
+        path = make_path(self.origin_asn, prepend=self._spec.prepend)
+        avoid = getattr(self, "_avoid_hint", frozenset())
+        if not self._try_delta_originate(
+            self.production_prefix, path, per_neighbor, avoid
+        ):
+            self.engine.originate(
+                self.origin_asn,
+                self.production_prefix,
+                path=path,
+                per_neighbor=per_neighbor,
+                avoid=avoid,
+            )
         self.pacer.record(self.engine.now)
         self.log.append((self.engine.now, description))
         if self.obs is not None:

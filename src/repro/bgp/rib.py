@@ -123,6 +123,41 @@ class RouteTable:
         if best is not None:
             self._loc[prefix] = best
 
+    def purge_prefix(self, prefix: Prefix) -> None:
+        """Drop every Adj-RIB-In row and the Loc-RIB pin for *prefix*.
+
+        The inverse of :meth:`load`, used by the delta path to splice an
+        old per-prefix solution out before installing its replacement.
+        """
+        self._adj_in.pop(prefix, None)
+        self._loc.pop(prefix, None)
+
+    def replace_rows(
+        self, prefix: Prefix, routes: Optional[Dict[int, Route]]
+    ) -> None:
+        """Overwrite the whole Adj-RIB-In row set for *prefix*.
+
+        ``None``/empty removes the prefix.  Delta splicing uses this for
+        receivers whose rows actually changed; :meth:`load`'s merge
+        semantics would leave stale senders behind.  Takes ownership of
+        *routes* (installed by reference, not copied): the delta path
+        hands over solver-built dicts it never mutates, and any event-
+        path activity that would mutate them in place first invalidates
+        the analytic state they came from.
+        """
+        if routes:
+            self._adj_in[prefix] = routes
+        else:
+            self._adj_in.pop(prefix, None)
+
+    def pin_best(self, prefix: Prefix, best: Optional[Route]) -> None:
+        """Set (or clear, with None) the Loc-RIB selection for *prefix*
+        without re-running the decision process (see :meth:`load`)."""
+        if best is not None:
+            self._loc[prefix] = best
+        else:
+            self._loc.pop(prefix, None)
+
     def withdraw(self, prefix: Prefix, neighbor: int) -> bool:
         """Remove the route from *neighbor*; True if one was present."""
         table = self._adj_in.get(prefix)

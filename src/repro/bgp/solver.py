@@ -131,18 +131,12 @@ class SolverResult:
         return {}
 
 
-def solver_unsupported_reason(
-    engine, originations: Sequence[Origination]
-) -> Optional[str]:
-    """Why the analytic solver cannot model this setup (None: it can).
+def speaker_config_reason(engine) -> Optional[str]:
+    """Why per-speaker policy keeps the analytic model out (None: clean).
 
-    The solver assumes default Gao-Rexford decision/export behaviour:
-    sibling links, local-pref overrides, non-standard loop limits, the
-    Cogent peer filter, community-driven export, flap damping and the
-    anti-poisoning import filters (poisoned-path/reserved-ASN rejection,
-    path-length caps, Peerlock) all change which routing is stable, so
-    any of them forces the event engine.  Announcement-level features the engine layers on top
-    (communities, AVOID_PROBLEM hints) are likewise out of scope.
+    Shared by :func:`solver_unsupported_reason` and the delta gate
+    (:func:`repro.bgp.delta.delta_unsupported_reason`): both model only
+    default Gao-Rexford decision/export behaviour.
     """
     for asn, speaker in engine.speakers.items():
         config = speaker.policy.config
@@ -166,6 +160,25 @@ def solver_unsupported_reason(
             return f"AS{asn}: peerlock_protected"
         if Relationship.SIBLING in speaker.neighbors.values():
             return f"AS{asn}: sibling link"
+    return None
+
+
+def solver_unsupported_reason(
+    engine, originations: Sequence[Origination]
+) -> Optional[str]:
+    """Why the analytic solver cannot model this setup (None: it can).
+
+    The solver assumes default Gao-Rexford decision/export behaviour:
+    sibling links, local-pref overrides, non-standard loop limits, the
+    Cogent peer filter, community-driven export, flap damping and the
+    anti-poisoning import filters (poisoned-path/reserved-ASN rejection,
+    path-length caps, Peerlock) all change which routing is stable, so
+    any of them forces the event engine.  Announcement-level features the engine layers on top
+    (communities, AVOID_PROBLEM hints) are likewise out of scope.
+    """
+    reason = speaker_config_reason(engine)
+    if reason is not None:
+        return reason
     seen_prefixes = set()
     for org in originations:
         if org.asn not in engine.speakers:
@@ -203,6 +216,14 @@ _GATE_REASON_SLUGS = (
     ("multiple originations", "duplicate_prefix"),
     ("unknown AS", "unknown_origin"),
     ("prior activity", "prior_activity"),
+    # Delta-gate-only reasons (repro.bgp.delta shares this slug table).
+    ("not analytic", "not_analytic"),
+    ("events pending", "events_pending"),
+    ("fault hook", "fault_hook"),
+    ("avoid-hint", "avoid_hint"),
+    ("communities", "communities"),
+    ("invalid origin path", "invalid_path"),
+    ("unknown delta change", "unknown_change"),
 )
 
 
@@ -229,8 +250,36 @@ def solve(
     if reason is not None:
         raise SolverUnsupported(f"analytic solver cannot model: {reason}")
 
-    # Per-AS adjacency split by the role each end plays, precomputed once
-    # and shared across every prefix.
+    adjacency = build_adjacency(engine)
+    phase_seconds = {"up": 0.0, "across": 0.0, "down": 0.0, "install": 0.0}
+    solutions = [
+        solve_prefix(org, adjacency, phase_seconds) for org in originations
+    ]
+    if stats is not None:
+        stats.count("solver.prefixes_solved", len(solutions))
+        for phase, seconds in phase_seconds.items():
+            stats.add_time(f"solver.phase_{phase}", seconds)
+    return SolverResult(
+        originations=list(originations),
+        solutions=solutions,
+        phase_seconds=phase_seconds,
+    )
+
+
+#: (nbr_rel, providers_of, peers_of, customers_of): the per-AS adjacency
+#: split by the role each end plays, precomputed once per topology and
+#: shared across every prefix (and cached on the engine by the delta path
+#: — the topology never changes during a run).
+Adjacency = Tuple[
+    Dict[int, Dict[int, Relationship]],
+    Dict[int, List[int]],
+    Dict[int, List[int]],
+    Dict[int, List[int]],
+]
+
+
+def build_adjacency(engine) -> Adjacency:
+    """Split every speaker's neighbor map by relationship class."""
     nbr_rel: Dict[int, Dict[int, Relationship]] = {
         asn: speaker.neighbors for asn, speaker in engine.speakers.items()
     }
@@ -247,33 +296,21 @@ def solve(
         customers_of[asn] = [
             n for n, rel in rels.items() if rel is Relationship.CUSTOMER
         ]
-
-    phase_seconds = {"up": 0.0, "across": 0.0, "down": 0.0, "install": 0.0}
-    solutions = [
-        _solve_prefix(
-            org, nbr_rel, providers_of, peers_of, customers_of, phase_seconds
-        )
-        for org in originations
-    ]
-    if stats is not None:
-        stats.count("solver.prefixes_solved", len(solutions))
-        for phase, seconds in phase_seconds.items():
-            stats.add_time(f"solver.phase_{phase}", seconds)
-    return SolverResult(
-        originations=list(originations),
-        solutions=solutions,
-        phase_seconds=phase_seconds,
-    )
+    return nbr_rel, providers_of, peers_of, customers_of
 
 
-def _solve_prefix(
+def solve_prefix(
     org: Origination,
-    nbr_rel: Dict[int, Dict[int, Relationship]],
-    providers_of: Dict[int, List[int]],
-    peers_of: Dict[int, List[int]],
-    customers_of: Dict[int, List[int]],
+    adjacency: Adjacency,
     phase_seconds: Dict[str, float],
 ) -> PrefixSolution:
+    """Converged state for one origination over *adjacency*.
+
+    The three-phase propagation only ever visits ASes reachable from the
+    origin under valley-free export — the prefix's blast-radius cone —
+    so this is the unit of work the delta path re-runs per dirty prefix.
+    """
+    nbr_rel, providers_of, peers_of, customers_of = adjacency
     origin = org.asn
     prefix = org.prefix
     t0 = perf_counter()

@@ -427,6 +427,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the continuous-operation service daemon over a simulated
     streaming outage workload."""
     from repro.control.journal import RepairJournal
+    from repro.control.lifeguard import LifeguardConfig
     from repro.obs import EventBus, MetricsRegistry
     from repro.obs.export import (
         prometheus_text,
@@ -464,6 +465,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_targets=args.targets,
         obs=bus,
         journal=journal,
+        lifeguard_config=LifeguardConfig(delta_mode=args.delta),
     )
     if args.intensity > 0:
         scenario, injector = build_chaos_deployment(
@@ -876,6 +878,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--intensity", type=float, default=0.0,
         help="chaos fault intensity in [0, 1] (0 = no injector)",
+    )
+    p.add_argument(
+        "--delta",
+        choices=["off", "auto"],
+        default=os.environ.get("REPRO_SERVICE_DELTA", "auto"),
+        help="incremental convergence for repair announcements: 'auto' "
+             "splices poison/unpoison blast radii into the analytic "
+             "converged state (falling back to full event replay when "
+             "the gate refuses, e.g. under chaos faults); 'off' always "
+             "replays (default $REPRO_SERVICE_DELTA, else auto)",
     )
     p.add_argument(
         "--crash-at", type=float, default=None,

@@ -238,6 +238,12 @@ class LifeguardConfig:
     #: extra ASNs (beyond the blamed one) the "multi-poison" rung may
     #: add to cover the blamed AS's transit neighborhood.
     fallback_max_extra_poisons: int = 2
+    #: incremental-convergence mode for announcements ("off"/"auto";
+    #: None reads $REPRO_DELTA_MODE, default off).  In "auto", poisons,
+    #: unpoisons and escalation rungs splice their blast radius into the
+    #: analytic converged state instead of replaying the whole event
+    #: engine, and FIB refreshes rebuild only the dirty ASes.
+    delta_mode: Optional[str] = None
 
 
 class Lifeguard:
@@ -267,6 +273,8 @@ class Lifeguard:
         self.production_prefix: Prefix = node.prefixes[0]
 
         self.dataplane = DataPlane(topo, build_fibs(engine))
+        # Start next-hop dirtiness tracking at the snapshot just taken.
+        engine.consume_fib_dirty()
         self.prober = Prober(self.dataplane)
         self.atlas = PathAtlas()
         self.responsiveness = ResponsivenessDB()
@@ -297,6 +305,7 @@ class Lifeguard:
                 window=self.config.announce_window,
                 max_announcements=self.config.announce_budget,
             ),
+            delta_mode=self.config.delta_mode,
         )
         self.journal = journal if journal is not None else RepairJournal()
         self.guard = RepairGuard(
@@ -360,8 +369,19 @@ class Lifeguard:
         self.refresher.refresh_all(self.targets, now)
 
     def refresh_dataplane(self) -> None:
-        """Re-snapshot FIBs after any control-plane change."""
-        self.dataplane.fibs = build_fibs(self.engine)
+        """Re-snapshot FIBs after any control-plane change.
+
+        Incremental: only ASes whose forwarding next hop changed since
+        the last refresh are rebuilt (the engine tracks them); clean
+        ASes share their tries with the previous snapshot, which also
+        lets :class:`~repro.traffic.lpm.FlatFibSet` keep their compiled
+        interval tables.
+        """
+        self.dataplane.fibs = build_fibs(
+            self.engine,
+            previous=self.dataplane.fibs,
+            dirty_asns=self.engine.consume_fib_dirty(),
+        )
 
     # ------------------------------------------------------------------
     # Journal helpers

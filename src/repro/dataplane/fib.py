@@ -9,7 +9,7 @@ selection at forwarding time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Set, Union
 
 from repro.bgp.engine import BGPEngine
 from repro.net.addr import Address, Prefix
@@ -65,7 +65,34 @@ class FibSnapshot:
         return trie.lookup_value(Address(destination))
 
 
-def build_fibs(engine: BGPEngine) -> FibSnapshot:
+def _build_as_fib(
+    asn: int, speaker, origins: Dict[Prefix, int]
+) -> PrefixTrie:
+    """One AS's Loc-RIB as an LPM trie; locally-originated prefixes are
+    recorded into *origins*."""
+    trie: PrefixTrie = PrefixTrie()
+    for prefix, route in speaker.table.loc_rib().items():
+        if route.neighbor == asn:
+            trie[prefix] = LOCAL
+            origins[prefix] = asn
+        else:
+            trie[prefix] = route.neighbor
+    if speaker.policy.config.default_route_via_provider:
+        providers = sorted(
+            nbr
+            for nbr, rel in speaker.neighbors.items()
+            if rel is Relationship.PROVIDER
+        )
+        if providers:
+            trie[DEFAULT_PREFIX] = providers[0]
+    return trie
+
+
+def build_fibs(
+    engine: BGPEngine,
+    previous: Optional[FibSnapshot] = None,
+    dirty_asns: Optional[Set[int]] = None,
+) -> FibSnapshot:
     """Snapshot every speaker's Loc-RIB into forwarding tables.
 
     ASes configured with ``default_route_via_provider`` additionally get
@@ -73,23 +100,34 @@ def build_fibs(engine: BGPEngine) -> FibSnapshot:
     provider: even when a poison (or outage) evicts the BGP route for a
     prefix, their packets still leave toward the provider — the measured
     behavior that makes "unreachable" stubs keep delivering traffic.
+
+    With *previous* and *dirty_asns* (from
+    :meth:`BGPEngine.consume_fib_dirty`), only the dirty ASes' tries are
+    rebuilt; every other AS *shares its trie object* with the previous
+    snapshot, so downstream per-trie caches (the flat interval tables in
+    :class:`~repro.traffic.lpm.FlatFibSet`) stay valid by identity.
+    ``dirty_asns=None`` means the change set is unbounded — full rebuild.
     """
+    if previous is not None and dirty_asns is not None:
+        if not dirty_asns:
+            return previous
+        snapshot = FibSnapshot(tables=dict(previous.tables))
+        # Keep clean ASes' origin claims; dirty ASes re-assert theirs.
+        snapshot.origins = {
+            prefix: asn
+            for prefix, asn in previous.origins.items()
+            if asn not in dirty_asns
+        }
+        for asn in sorted(dirty_asns):
+            speaker = engine.speakers.get(asn)
+            if speaker is None:
+                snapshot.tables.pop(asn, None)
+                continue
+            snapshot.tables[asn] = _build_as_fib(
+                asn, speaker, snapshot.origins
+            )
+        return snapshot
     snapshot = FibSnapshot()
     for asn, speaker in engine.speakers.items():
-        trie: PrefixTrie = PrefixTrie()
-        for prefix, route in speaker.table.loc_rib().items():
-            if route.neighbor == asn:
-                trie[prefix] = LOCAL
-                snapshot.origins[prefix] = asn
-            else:
-                trie[prefix] = route.neighbor
-        if speaker.policy.config.default_route_via_provider:
-            providers = sorted(
-                nbr
-                for nbr, rel in speaker.neighbors.items()
-                if rel is Relationship.PROVIDER
-            )
-            if providers:
-                trie[DEFAULT_PREFIX] = providers[0]
-        snapshot.tables[asn] = trie
+        snapshot.tables[asn] = _build_as_fib(asn, speaker, snapshot.origins)
     return snapshot

@@ -56,6 +56,7 @@ def make_entry(
             "crash_side": found.crash_side,
             "diff_count": found.diff_count,
             "diff_sample": [list(row) for row in found.diff[:5]],
+            "delta_arm": found.delta_arm,
         }
     return entry
 

@@ -23,6 +23,14 @@ Protocol (mirrors the solver's poison-equivalence tests):
 5. Diff — :func:`~repro.fuzz.diff.capture_state` of both engines,
    compared byte-for-byte on the canonical JSON blob.
 
+When the case carries no message faults, a **third arm** replays the
+action script through :mod:`repro.bgp.delta` on another warm-started
+engine — per action, the delta gate either splices or skips the whole
+arm (a skip is budget, like a gate rejection) — and its final state must
+be byte-identical to the event engine's.  This is the standing CI check
+for the splice-back invariant over arbitrary fuzzer-generated inputs,
+not just the curated workloads.
+
 ``inject_divergence=True`` is the end-to-end test hook: it deletes one
 solver-computed Loc-RIB selection before warm-start, which must surface
 as a divergence, shrink to a minimal case and land in the corpus.
@@ -33,6 +41,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.bgp.delta import (
+    DeltaChange,
+    apply_delta,
+    delta_unsupported_reason,
+)
 from repro.bgp.engine import BGPEngine, EngineConfig
 from repro.bgp.solver import solve, solver_unsupported_reason
 from repro.errors import SimulationError
@@ -60,7 +73,8 @@ class CaseResult:
     verdict: str
     #: gate reason, or ``ExcType: message`` for crashes.
     reason: Optional[str] = None
-    #: which side crashed: "solver", "event" or "setup".
+    #: which side crashed or diverged when it was not the solver-vs-event
+    #: pair: "solver", "event", "setup" or "delta".
     crash_side: Optional[str] = None
     #: first differing keys as (key, solver value, event value).
     diff: List[Tuple[str, Optional[str], Optional[str]]] = field(
@@ -68,6 +82,11 @@ class CaseResult:
     )
     #: total number of differing keys (diff holds only the first few).
     diff_count: int = 0
+    #: third-arm outcome: "equal" (delta state matched the event
+    #: engine's), "skipped: <gate reason>", or None (arm not run — a
+    #: fault plan was active, there were no actions, or the run ended
+    #: before the arm).
+    delta_arm: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -141,7 +160,20 @@ def run_case(
         )
 
     if canonical_blob(solver_state) == canonical_blob(event_state):
-        return CaseResult(VERDICT_EQUAL)
+        result = CaseResult(VERDICT_EQUAL)
+        if case.actions and case.fault_plan().is_null:
+            arm = _delta_arm(
+                case,
+                graph,
+                event_state,
+                prefixes,
+                stats=stats,
+                diff_limit=diff_limit,
+            )
+            if isinstance(arm, CaseResult):
+                return arm
+            result.delta_arm = arm
+        return result
     diff = diff_states(solver_state, event_state, limit=diff_limit)
     total = sum(
         1
@@ -150,6 +182,80 @@ def run_case(
         or (key in solver_state) != (key in event_state)
     )
     return CaseResult(VERDICT_DIVERGENCE, diff=diff, diff_count=total)
+
+
+def _delta_arm(
+    case: FuzzCase,
+    graph,
+    event_state,
+    prefixes,
+    *,
+    stats=None,
+    diff_limit: int = 8,
+):
+    """Replay the action script through ``repro.bgp.delta``.
+
+    Returns the ``delta_arm`` string for an equal or skipped run, or a
+    full :class:`CaseResult` (verdict crash/divergence, side "delta")
+    when the arm fails.  Faulty plans never reach here: message faults
+    are exactly what the delta gate exists to refuse.
+    """
+    try:
+        engine = BGPEngine(
+            graph,
+            EngineConfig(seed=case.engine_seed),
+            case.speaker_configs(),
+        )
+        engine.warm_start(solve(engine, case.resolved_originations()))
+        engine.advance_to(engine.now + SETTLE_SECONDS)
+        engine.reseed(derive_seed(case.seed, "fuzz-perturb"))
+        for action in case.actions:
+            change = _delta_change(action)
+            reason = delta_unsupported_reason(engine, [change])
+            if reason is not None:
+                if stats is not None:
+                    stats.count("fuzz.delta_arm_skips")
+                return f"skipped: {reason}"
+            apply_delta(engine, [change], stats=stats)
+        delta_state = capture_state(engine, prefixes)
+    except Exception as exc:
+        return CaseResult(
+            VERDICT_CRASH, reason=_crash_reason(exc), crash_side="delta"
+        )
+    if stats is not None:
+        stats.count("fuzz.delta_arm_runs")
+    if canonical_blob(delta_state) == canonical_blob(event_state):
+        return "equal"
+    diff = diff_states(delta_state, event_state, limit=diff_limit)
+    total = sum(
+        1
+        for key in set(delta_state) | set(event_state)
+        if delta_state.get(key) != event_state.get(key)
+        or (key in delta_state) != (key in event_state)
+    )
+    return CaseResult(
+        VERDICT_DIVERGENCE,
+        crash_side="delta",
+        diff=diff,
+        diff_count=total,
+        delta_arm="divergence",
+    )
+
+
+def _delta_change(action) -> DeltaChange:
+    if action.op == "announce":
+        return DeltaChange.originate(
+            action.asn,
+            Prefix(action.prefix),
+            path=action.path,
+            per_neighbor=action.per_neighbor,
+            med=action.med,
+        )
+    if action.op == "withdraw":
+        return DeltaChange.withdraw(action.asn, Prefix(action.prefix))
+    if action.op == "reset":
+        return DeltaChange.reset(action.asn, action.peer)
+    raise SimulationError(f"fuzz case: unknown action {action.op!r}")
 
 
 def _perturb(engine: BGPEngine, case: FuzzCase) -> None:

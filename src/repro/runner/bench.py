@@ -14,6 +14,7 @@ speedup measurement.
 
 from __future__ import annotations
 
+import gc
 import platform
 import sys
 import time
@@ -221,6 +222,141 @@ def _bench_robustness(
     }
 
 
+def _bench_delta(
+    scale: str, seed: int, workers: int,
+    cache: Optional[DiskCache], stats: RunStats,
+) -> BenchResult:
+    """Incremental convergence vs full event replay on a poison workload.
+
+    Replays the same announcement story — baseline, then poison/unpoison
+    cycles against several transit ASes — through two engines restored
+    from one converged snapshot: the event engine (full replay per step)
+    and ``repro.bgp.delta`` (blast-radius splice per step).  Every step's
+    resulting state is asserted byte-identical across the arms before
+    any headline is reported; ``delta_speedup`` is the suite's headline
+    for ROADMAP item 1 (acceptance floor: 5x on the medium workload).
+    The workload runs at medium whenever the suite scale allows it —
+    blast radii, not topology build time, are what is being measured.
+    """
+    from repro.bgp.origin import OriginController
+    from repro.fuzz.diff import canonical_blob, capture_state
+    from repro.runner.baseline import (
+        MODE_SOLVER,
+        ORIGIN_ASN_EVEN,
+        converged_internet,
+        restore_snapshot,
+    )
+
+    workload_scale = {"tiny": "small"}.get(scale, "medium")
+    base = converged_internet(
+        workload_scale, seed, mode=MODE_SOLVER, origin_providers=2,
+        origin_asn_policy=ORIGIN_ASN_EVEN, cache=None, stats=stats,
+    )
+    origin = base.origin_asn
+    graph = base.graph
+    prefix = graph.node(origin).prefixes[0]
+    snapshot = base.snapshot()
+
+    # Poison targets: the origin's providers plus the highest-degree
+    # transit ASes — the cones real repairs carve.
+    targets = sorted(graph.providers(origin))
+    for asn in sorted(graph.transit_ases(), key=lambda a: -graph.degree(a)):
+        if len(targets) >= 4:
+            break
+        if asn != origin and asn not in targets:
+            targets.append(asn)
+    extra = targets[-1]
+
+    # The repair story each arm replays: baseline, then per target the
+    # escalation ladder's announcement shapes (poison, deeper
+    # multi-poison, prepend-only steering), then back to baseline.
+    def steps(controller):
+        yield lambda: controller.announce_baseline()
+        for target in targets:
+            key = f"repair-{target}"
+            yield lambda t=target, k=key: controller.poison([t], key=k)
+            if target != extra:
+                yield lambda t=target, k=key: controller.poison(
+                    [t, extra], key=k
+                )
+            yield lambda k=key: controller.steer_prepend(
+                [controller.providers[0]], key=k
+            )
+            yield lambda k=key: controller.unpoison(k)
+
+    def replay(mode):
+        engine, _ = restore_snapshot(snapshot)
+        controller = OriginController(
+            engine, origin, prefix, delta_mode=mode
+        )
+        controller.stats = stats
+        # Pay down collector debt from the baseline build before timing:
+        # a deferred gen-2 pass landing inside one arm (it is the delta
+        # arm, ~50 ms of work against the full arm's ~400 ms) would skew
+        # the headline by noise unrelated to either path.
+        gc.collect()
+        seconds = 0.0
+        captures = []
+        for step in steps(controller):
+            engine.advance_to(engine.now + 600.0)
+            start = time.perf_counter()
+            step()
+            engine.run()
+            seconds += time.perf_counter() - start
+            captures.append(
+                canonical_blob(capture_state(engine, [prefix]))
+            )
+        return seconds, captures, controller
+
+    # Best-of-N arms: scheduler/collector noise on a ~70 ms arm swings
+    # the ratio by tens of percent, and the minimum is the standard
+    # robust estimator for a deterministic workload.  Byte-identity is
+    # asserted on every repeat, not just the fastest.
+    full_seconds = delta_seconds = float("inf")
+    full_captures = None
+    controller = None
+    for _ in range(3):
+        seconds, captures, _ = replay("off")
+        if full_captures is not None and captures != full_captures:
+            raise AssertionError("full replay is not deterministic")
+        full_captures = captures
+        full_seconds = min(full_seconds, seconds)
+    for _ in range(3):
+        seconds, delta_captures, controller = replay("auto")
+        if controller.delta_fallbacks:
+            raise AssertionError(
+                f"{controller.delta_fallbacks} delta fallbacks on a "
+                "workload the gate must fully support"
+            )
+        if delta_captures != full_captures:
+            divergent = sum(
+                1
+                for a, b in zip(delta_captures, full_captures)
+                if a != b
+            )
+            raise AssertionError(
+                f"delta state diverged from full replay on "
+                f"{divergent}/{len(full_captures)} steps"
+            )
+        delta_seconds = min(delta_seconds, seconds)
+    cones = controller.delta_cone_sizes
+    num_steps = len(full_captures)
+    stats.count("bench.delta.steps", num_steps)
+    return num_steps, {
+        "workload_scale": workload_scale,
+        "steps": num_steps,
+        "poison_targets": len(targets),
+        "full_seconds": round(full_seconds, 4),
+        "delta_seconds": round(delta_seconds, 4),
+        "delta_speedup": round(full_seconds / delta_seconds, 4)
+        if delta_seconds
+        else 0.0,
+        "cone_mean": round(sum(cones) / len(cones), 2) if cones else 0.0,
+        "cone_max": max(cones) if cones else 0,
+        "fallbacks": 0,
+    }
+
+
 def _bench_service(
     scale: str, seed: int, workers: int,
     cache: Optional[DiskCache], stats: RunStats,
@@ -248,7 +384,9 @@ def _bench_service(
         num_helper_vps=9,
         num_targets=125,
         obs=obs,
-        lifeguard_config=LifeguardConfig(monitor_interval=120.0),
+        lifeguard_config=LifeguardConfig(
+            monitor_interval=120.0, delta_mode="auto"
+        ),
         cache=cache,
         stats=stats,
     )
@@ -397,6 +535,7 @@ BENCHMARKS: Dict[
     "alternate_paths": _bench_alternate_paths,
     "robustness": _bench_robustness,
     "defenses": _bench_defenses,
+    "delta": _bench_delta,
     "service": _bench_service,
     "impact": _bench_impact,
 }

@@ -26,7 +26,7 @@ from repro.runner.stats import RunStats
 #: Bump to invalidate every existing cache entry (format change).
 #: 2: Route/Announcement became slots dataclasses — pickles from schema 1
 #: would fail to restore into the slotted classes.
-CACHE_SCHEMA_VERSION = 3  # FIFO per-session delivery changed engine state
+CACHE_SCHEMA_VERSION = 4  # engine grew analytic/delta attrs (pickle layout)
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

@@ -141,32 +141,45 @@ class FlatLPM:
 class FlatFibSet:
     """Lazily compiled flat tables over a :class:`FibSnapshot`.
 
-    Compilation is memoised per AS for as long as the same snapshot
-    object is attached; :meth:`attach` swaps in a fresh snapshot (after a
-    poison or repair rebuilt the FIBs) and drops the stale tables.  The
-    snapshot is held by strong reference so object identity is a safe
-    cache key.
+    Compilation is memoised per AS, keyed on the AS's *trie object*:
+    incremental FIB refreshes (``build_fibs(..., dirty_asns=...)``) share
+    clean ASes' tries with the previous snapshot by identity, so
+    :meth:`attach` keeps their compiled tables and recompiles only the
+    ASes whose trie was actually rebuilt.  Snapshots hold their tries by
+    strong reference, so object identity is a safe cache key.
     """
 
     def __init__(self, fibs: Any = None) -> None:
         self._fibs = fibs
         self._tables: Dict[int, Optional[FlatLPM]] = {}
+        #: asn -> the trie each cached table was compiled from.
+        self._sources: Dict[int, Any] = {}
+        #: tables dropped by attach() because their AS's trie changed
+        #: (regression instrumentation: unchanged ASes must not churn).
+        self.invalidations = 0
 
     @property
     def fibs(self) -> Any:
         return self._fibs
 
     def attach(self, fibs: Any) -> None:
-        """Point at *fibs*, invalidating compiled tables if it changed."""
-        if fibs is not self._fibs:
-            self._fibs = fibs
-            self._tables = {}
+        """Point at *fibs*, invalidating only ASes whose trie changed."""
+        if fibs is self._fibs:
+            return
+        new_tables = fibs.tables if fibs is not None else {}
+        for asn in list(self._tables):
+            if self._sources.get(asn) is not new_tables.get(asn):
+                del self._tables[asn]
+                self._sources.pop(asn, None)
+                self.invalidations += 1
+        self._fibs = fibs
 
     def table(self, asn: int) -> Optional[FlatLPM]:
         """The compiled table for *asn* (None when the AS has no FIB)."""
         if asn not in self._tables:
             trie = self._fibs.tables.get(asn) if self._fibs else None
             self._tables[asn] = FlatLPM.compile(trie) if trie else None
+            self._sources[asn] = trie
         return self._tables[asn]
 
     def resolve(

@@ -28,6 +28,7 @@ from repro.bgp.solver import (
     solver_unsupported_reason,
 )
 from repro.errors import SimulationError
+from repro.fuzz.diff import canonical_blob, capture_state
 from repro.runner.baseline import (
     ENV_BASELINE_MODE,
     MODE_EVENT,
@@ -140,6 +141,75 @@ class TestSolverMatchesEventConvergence:
         assert stats.counters["solver.prefixes_solved"] == prefixes
         for phase in ("up", "across", "down", "install"):
             assert f"solver.phase_{phase}" in stats.timers
+
+
+class TestPostPoisonSweep:
+    """Baseline equality extended through the repair lifecycle: after a
+    poison and again after the unpoison, solver-seeded and event-seeded
+    deployments (and a delta-spliced third arm) stay
+    routing-indistinguishable — swept across seeds at both scales."""
+
+    RUNGS = ("post-poison", "post-unpoison")
+
+    @staticmethod
+    def _ladder(scale, seed, mode, delta_mode="off"):
+        """Converge in *mode*, then poison and unpoison; return the
+        controller and one full-state blob per rung."""
+        base = converged_internet(
+            scale,
+            seed,
+            engine_config=EngineConfig(seed=seed),
+            origin_providers=2,
+            origin_asn_policy=ORIGIN_ASN_EVEN,
+            mode=mode,
+            cache=None,
+        )
+        engine, graph = base.engine, base.graph
+        engine.advance_to(engine.now + 60.0)
+        engine.reseed(20120813)
+        production = graph.node(base.origin_asn).prefixes[0]
+        prefixes = sorted(
+            {p for node in graph.nodes() for p in node.prefixes}
+            | {production},
+            key=lambda p: (p.base, p.length),
+        )
+        controller = OriginController(
+            engine, base.origin_asn, production, delta_mode=delta_mode
+        )
+        controller.announce_baseline()
+        engine.run()
+        target = sorted(graph.providers(base.origin_asn))[0]
+        blobs = []
+        controller.poison([target])
+        engine.run()
+        blobs.append(canonical_blob(capture_state(engine, prefixes)))
+        controller.unpoison()
+        engine.run()
+        blobs.append(canonical_blob(capture_state(engine, prefixes)))
+        return controller, blobs
+
+    def _sweep(self, scale, seed):
+        _, solver_blobs = self._ladder(scale, seed, MODE_SOLVER)
+        _, event_blobs = self._ladder(scale, seed, MODE_EVENT)
+        delta_ctl, delta_blobs = self._ladder(
+            scale, seed, MODE_SOLVER, delta_mode="auto"
+        )
+        assert delta_ctl.delta_fallbacks == 0
+        assert delta_ctl.delta_applied > 0
+        for label, solver_blob, event_blob, delta_blob in zip(
+            self.RUNGS, solver_blobs, event_blobs, delta_blobs
+        ):
+            tag = f"{scale}/seed{seed}/{label}"
+            assert solver_blob == event_blob, f"{tag}: solver != event"
+            assert delta_blob == event_blob, f"{tag}: delta != event"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_small(self, seed):
+        self._sweep("small", seed)
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_medium(self, seed):
+        self._sweep("medium", seed)
 
 
 class TestPoisonEquivalence:

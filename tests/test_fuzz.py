@@ -104,6 +104,109 @@ class TestExecutor:
         assert broken.diff
 
 
+class TestDeltaArm:
+    """The third differential arm: delta splice vs full event replay."""
+
+    @staticmethod
+    def _case(**overrides):
+        kwargs = dict(
+            seed=21,
+            engine_seed=21,
+            ases=[(1, 1), (2, 1), (3, 2), (4, 3)],
+            links=[
+                (1, 2, "peer"),
+                (3, 1, "provider"),
+                (3, 2, "provider"),
+                (4, 3, "provider"),
+            ],
+            originations=[
+                OrigSpec(1, "10.1.0.0/16"),
+                OrigSpec(4, "10.4.0.0/16", path=(4, 4, 4)),
+            ],
+            actions=[
+                ActionSpec(
+                    op="announce",
+                    asn=4,
+                    prefix="10.4.0.0/16",
+                    path=(4, 3, 4),
+                ),
+                ActionSpec(op="reset", asn=4, peer=3),
+            ],
+        )
+        kwargs.update(overrides)
+        return FuzzCase(**kwargs)
+
+    def test_clean_case_runs_the_arm(self):
+        stats = RunStats()
+        result = run_case(self._case(), stats=stats)
+        assert result.verdict == VERDICT_EQUAL
+        assert result.delta_arm == "equal"
+        assert stats.counters["fuzz.delta_arm_runs"] == 1
+        assert stats.counters["solver.delta.applied"] == 2
+
+    def test_fault_plan_keeps_the_arm_off(self):
+        stats = RunStats()
+        result = run_case(self._case(drop_rate=0.2), stats=stats)
+        assert result.delta_arm is None
+        assert "fuzz.delta_arm_runs" not in stats.counters
+
+    def test_no_actions_keeps_the_arm_off(self):
+        result = run_case(self._case(actions=[]))
+        assert result.verdict == VERDICT_EQUAL
+        assert result.delta_arm is None
+
+    def test_unsupported_action_is_a_counted_skip(self):
+        # A second AS announcing AS4's prefix is MOAS mid-script: the
+        # event engine models it, the delta gate must refuse and the
+        # arm records the skip instead of failing the case.
+        stats = RunStats()
+        case = self._case(
+            actions=[
+                ActionSpec(
+                    op="announce", asn=1, prefix="10.4.0.0/16"
+                )
+            ]
+        )
+        result = run_case(case, stats=stats)
+        assert result.verdict == VERDICT_EQUAL
+        assert result.delta_arm.startswith("skipped:")
+        assert "multiple originations" in result.delta_arm
+        assert stats.counters["fuzz.delta_arm_skips"] == 1
+
+    def test_delta_divergence_is_attributed(self, monkeypatch):
+        import repro.fuzz.executor as executor
+
+        real = executor.apply_delta
+
+        def corrupting(engine, changes, stats=None):
+            out = real(engine, changes, stats=stats)
+            for speaker in engine.speakers.values():
+                loc = speaker.table._loc
+                if loc:
+                    loc.pop(next(iter(loc)))
+                    break
+            return out
+
+        monkeypatch.setattr(executor, "apply_delta", corrupting)
+        result = run_case(self._case())
+        assert result.verdict == VERDICT_DIVERGENCE
+        assert result.crash_side == "delta"
+        assert result.delta_arm == "divergence"
+        assert result.diff
+
+    def test_delta_crash_is_attributed(self, monkeypatch):
+        import repro.fuzz.executor as executor
+
+        def boom(engine, changes, stats=None):
+            raise RuntimeError("splice exploded")
+
+        monkeypatch.setattr(executor, "apply_delta", boom)
+        result = run_case(self._case())
+        assert result.verdict == "crash"
+        assert result.crash_side == "delta"
+        assert "splice exploded" in result.reason
+
+
 class TestShrinker:
     @staticmethod
     def _failing_case():

@@ -178,6 +178,81 @@ class TestFlatFibSet:
             )
 
 
+class TestIncrementalFibReuse:
+    """The dirty-AS invalidation fix: an incremental ``build_fibs``
+    shares clean ASes' trie objects with the previous snapshot, so
+    ``attach`` keeps their compiled tables (identity-keyed) and
+    ``invalidations`` counts exactly the dirty cone."""
+
+    @staticmethod
+    def _engine():
+        g = ASGraph()
+        g.add_as(1, tier=3)
+        g.add_as(2, tier=2)
+        g.add_as(3, tier=3)
+        g.assign_prefix(1, P)
+        g.assign_prefix(2, Prefix("10.102.0.0/16"))
+        g.assign_prefix(3, Prefix("10.103.0.0/16"))
+        g.add_link(1, 2, Relationship.PROVIDER)
+        g.add_link(3, 2, Relationship.PROVIDER)
+        engine = BGPEngine(g)
+        for node in g.nodes():
+            for prefix in node.prefixes:
+                engine.originate(node.asn, prefix)
+        engine.run()
+        return engine
+
+    def test_incremental_attach_keeps_clean_tables(self):
+        engine = self._engine()
+        first = build_fibs(engine)
+        fibset = FlatFibSet(first)
+        tables = {asn: fibset.table(asn) for asn in first.tables}
+        second = build_fibs(engine, first, dirty_asns={3})
+        assert second.tables[1] is first.tables[1]
+        assert second.tables[2] is first.tables[2]
+        assert second.tables[3] is not first.tables[3]
+        fibset.attach(second)
+        assert fibset.invalidations == 1
+        assert fibset.table(1) is tables[1]
+        assert fibset.table(2) is tables[2]
+        assert fibset.table(3) is not tables[3]
+
+    def test_empty_dirty_set_returns_previous_snapshot(self):
+        engine = self._engine()
+        first = build_fibs(engine)
+        assert build_fibs(engine, first, dirty_asns=set()) is first
+
+    def test_tracked_dirty_cone_matches_full_rebuild(self):
+        engine = self._engine()
+        # Cold start: the change set is unbounded until first consumed.
+        assert engine.consume_fib_dirty() is None
+        first = build_fibs(engine)
+        fibset = FlatFibSet(first)
+        for asn in first.tables:
+            fibset.table(asn)
+        # Poisoning AS3 evicts its route for P (a next-hop change at 3);
+        # AS2 keeps next hop 1, so its trie must survive untouched.
+        engine.originate(1, P, path=make_path(1, prepend=2, poison=[3]))
+        engine.run()
+        dirty = engine.consume_fib_dirty()
+        assert dirty is not None and 3 in dirty
+        assert 2 not in dirty
+        incremental = build_fibs(engine, first, dirty_asns=dirty)
+        full = build_fibs(engine)
+        for asn in full.tables:
+            trie = full.tables[asn]
+            addrs = _boundary_addresses(trie)
+            assert FlatLPM.compile(
+                incremental.tables[asn]
+            ).resolve_many(addrs) == [
+                trie.lookup_value(a) for a in addrs
+            ], f"incremental FIB differs at AS{asn}"
+        for asn in set(first.tables) - dirty:
+            assert incremental.tables[asn] is first.tables[asn]
+        fibset.attach(incremental)
+        assert fibset.invalidations == len(dirty & set(first.tables))
+
+
 class TestOriginForIndex:
     """The satellite fix: origin_for is an LPM lookup, not a scan."""
 
